@@ -1,0 +1,96 @@
+// Ablation — multiple attribute embeddings (Section 3.3): survival of the
+// A5 vertical-partitioning attack with the pair closure vs. the base
+// single-pair scheme, measured on the ItemScan-like relation.
+
+#include <cstdio>
+
+#include "attack/attacks.h"
+#include "core/multi_attribute.h"
+#include "exp/harness.h"
+#include "gen/sales_gen.h"
+
+namespace catmark {
+namespace {
+
+double RunCase(bool use_closure, const std::vector<std::string>& kept_columns,
+               const ExperimentConfig& config) {
+  SalesGenConfig gen;
+  gen.num_tuples = config.num_tuples;
+  gen.num_items = 200;
+  gen.seed = config.base_seed;
+  const Relation original = GenerateItemScan(gen);
+
+  WatermarkParams params;
+  params.e = 25;
+  double match_sum = 0.0;
+  for (std::size_t pass = 0; pass < config.passes; ++pass) {
+    const WatermarkKeySet keys = WatermarkKeySet::FromSeed(3000 + pass);
+    const BitVector wm = MakeWatermark(config.wm_bits, 3000 + pass);
+    Relation marked = original;
+    const MultiAttributeEmbedder multi(keys, params);
+    std::vector<AttributePair> pairs;
+    if (use_closure) {
+      pairs = PlanPairClosure(marked).value();
+    } else {
+      pairs = {{"Visit_Nbr", "Item_Nbr"}};
+    }
+    const MultiEmbedReport report = multi.EmbedAll(marked, pairs, wm).value();
+
+    const Relation partitioned =
+        VerticalPartitionAttack(marked, kept_columns).value();
+    const auto detections =
+        multi.DetectAll(partitioned, pairs, wm.size(),
+                        report.passes[0].report.payload_length)
+            .value();
+    if (detections.empty()) {
+      match_sum += 0.5;  // nothing to read: chance-level testimony
+      continue;
+    }
+    const BitVector combined =
+        MultiAttributeEmbedder::CombineDetections(detections, wm.size());
+    match_sum += MatchWatermark(wm, combined).match_fraction;
+  }
+  return match_sum / static_cast<double>(config.passes);
+}
+
+void Run() {
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  // The sales relation is wider than the harness default; cap the passes a
+  // little for the closure case which runs 6 embedding passes per trial.
+  PrintTableTitle(
+      "Ablation: Section 3.3 pair closure vs base scheme under A5 vertical "
+      "partitioning");
+  std::printf("N=%zu  |wm|=%zu  passes=%zu  e=25\n", config.num_tuples,
+              config.wm_bits, config.passes);
+  PrintTableHeader({"kept columns", "base mark(K,A)", "pair closure"});
+
+  const struct {
+    const char* label;
+    std::vector<std::string> columns;
+  } cases[] = {
+      {"all columns", {"Visit_Nbr", "Item_Nbr", "Store_Nbr", "Dept_Desc",
+                       "Unit_Qty", "Sale_Amount"}},
+      {"K + Item_Nbr", {"Visit_Nbr", "Item_Nbr"}},
+      {"Item+Store+Dept (no K)", {"Item_Nbr", "Store_Nbr", "Dept_Desc"}},
+      {"Item+Dept (no K)", {"Item_Nbr", "Dept_Desc"}},
+  };
+  for (const auto& c : cases) {
+    PrintTableRow({c.label,
+                   FormatDouble(100.0 * RunCase(false, c.columns, config)) +
+                       "% match",
+                   FormatDouble(100.0 * RunCase(true, c.columns, config)) +
+                       "% match"});
+  }
+  std::printf(
+      "\nExpected: both perfect while K survives; once K is projected away\n"
+      "the base scheme falls to chance (~50%%) while the pair closure keeps\n"
+      "testifying through the surviving categorical pairs.\n");
+}
+
+}  // namespace
+}  // namespace catmark
+
+int main() {
+  catmark::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 4 — "The watermark degrades gracefully with increasing attack
+// size": mean watermark alteration (%) vs. random-alteration attack size
+// (% of tuples altered), for e = 65 and e = 35. 15 key-averaged passes,
+// 10-bit watermark, majority-voting ECC (the paper's configuration).
+
+#include <cstdio>
+#include <vector>
+
+#include "attack/attacks.h"
+#include "exp/harness.h"
+
+namespace catmark {
+namespace {
+
+void Run() {
+  const ExperimentConfig config = ExperimentConfig::FromEnv();
+  PrintTableTitle(
+      "Figure 4: watermark alteration (%) vs attack size (random "
+      "alterations)");
+  std::printf("N=%zu  |wm|=%zu  passes=%zu  ECC=majority voting\n",
+              config.num_tuples, config.wm_bits, config.passes);
+  PrintTableHeader({"attack size (%)", "e=65 mark alt (%)",
+                    "e=35 mark alt (%)"});
+
+  for (const double attack : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
+    std::vector<std::string> row;
+    row.push_back(FormatDouble(attack * 100.0, 0));
+    for (const std::uint64_t e : {65ull, 35ull}) {
+      WatermarkParams params;
+      params.e = e;
+      const TrialOutcome outcome = RunAveragedTrial(
+          config, params,
+          [attack](const Relation& rel, std::uint64_t seed) {
+            return SubsetAlterationAttack(rel, "A", attack, seed);
+          });
+      row.push_back(FormatDouble(outcome.mean_alteration_pct));
+    }
+    PrintTableRow(row);
+  }
+  std::printf(
+      "\nPaper shape: both curves rise gracefully from ~0-5%% (20%% attack)\n"
+      "toward ~25-40%% (80%% attack); the smaller e (more bandwidth) stays\n"
+      "below the larger e at every attack size.\n");
+}
+
+}  // namespace
+}  // namespace catmark
+
+int main() {
+  catmark::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 5 — "More available bandwidth (decreasing e) results in a higher
+// attack resilience": mean watermark alteration (%) vs. the encoding
+// parameter e, for random-alteration attack sizes 55% and 20%.
+
+#include <cstdio>
+#include <vector>
+
+#include "attack/attacks.h"
+#include "exp/harness.h"
+
+namespace catmark {
+namespace {
+
+void Run() {
+  const ExperimentConfig config = ExperimentConfig::FromEnv();
+  PrintTableTitle("Figure 5: watermark alteration (%) vs e");
+  std::printf("N=%zu  |wm|=%zu  passes=%zu\n", config.num_tuples,
+              config.wm_bits, config.passes);
+  PrintTableHeader({"e", "attack 55% (%)", "attack 20% (%)",
+                    "embed alt. (% of N)"});
+
+  for (const std::uint64_t e :
+       {10ull, 25ull, 50ull, 75ull, 100ull, 125ull, 150ull, 175ull, 200ull}) {
+    WatermarkParams params;
+    params.e = e;
+    std::vector<std::string> row;
+    row.push_back(std::to_string(e));
+    double embed_alt = 0.0;
+    for (const double attack : {0.55, 0.20}) {
+      const TrialOutcome outcome = RunAveragedTrial(
+          config, params,
+          [attack](const Relation& rel, std::uint64_t seed) {
+            return SubsetAlterationAttack(rel, "A", attack, seed);
+          });
+      row.push_back(FormatDouble(outcome.mean_alteration_pct));
+      embed_alt = outcome.mean_embed_alteration_pct;
+    }
+    row.push_back(FormatDouble(embed_alt));
+    PrintTableRow(row);
+  }
+  std::printf(
+      "\nPaper shape: alteration grows with e for both attack sizes (less\n"
+      "bandwidth -> fewer votes per mark bit), with the 55%% attack curve\n"
+      "strictly above the 20%% curve. The last column shows the price of\n"
+      "small e: the fraction of data altered at embedding time (~1/e) —\n"
+      "the resilience vs. data-quality trade-off of Section 4.4.\n");
+}
+
+}  // namespace
+}  // namespace catmark
+
+int main() {
+  catmark::Run();
+  return 0;
+}

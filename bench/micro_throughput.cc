@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark): keyed hash, embedding and blind
+// detection throughput as a function of N, plus the frequency-domain
+// channel. These quantify the "massive data" practicality claim (Section
+// 4.3) on commodity hardware.
+
+#include <benchmark/benchmark.h>
+
+#include "core/codec.h"
+#include "core/detector.h"
+#include "core/embedder.h"
+#include "core/freq_mark.h"
+#include "crypto/keyed_hash.h"
+#include "exp/harness.h"
+#include "gen/sales_gen.h"
+
+namespace catmark {
+namespace {
+
+void BM_KeyedHash64(benchmark::State& state) {
+  const KeyedHasher hasher(SecretKey::FromSeed(1),
+                           static_cast<HashAlgorithm>(state.range(0)));
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Hash64(v++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KeyedHash64)
+    ->Arg(static_cast<int>(HashAlgorithm::kMd5))
+    ->Arg(static_cast<int>(HashAlgorithm::kSha1))
+    ->Arg(static_cast<int>(HashAlgorithm::kSha256));
+
+Relation BenchRelation(std::size_t n) {
+  KeyedCategoricalConfig config;
+  config.num_tuples = n;
+  config.domain_size = 1000;
+  config.seed = 7;
+  return GenerateKeyedCategorical(config);
+}
+
+void BM_Embed(benchmark::State& state) {
+  const Relation original = BenchRelation(static_cast<std::size_t>(state.range(0)));
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(2);
+  WatermarkParams params;
+  params.e = 60;
+  const Embedder embedder(keys, params);
+  const BitVector wm = MakeWatermark(10, 2);
+  EmbedOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  for (auto _ : state) {
+    Relation rel = original;
+    benchmark::DoNotOptimize(embedder.Embed(rel, options, wm));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Embed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Detect(benchmark::State& state) {
+  Relation rel = BenchRelation(static_cast<std::size_t>(state.range(0)));
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(3);
+  WatermarkParams params;
+  params.e = 60;
+  const BitVector wm = MakeWatermark(10, 3);
+  EmbedOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  const EmbedReport report =
+      Embedder(keys, params).Embed(rel, options, wm).value();
+  const Detector detector(keys, params);
+  DetectOptions detect_options;
+  detect_options.key_attr = "K";
+  detect_options.target_attr = "A";
+  detect_options.payload_length = report.payload_length;
+  detect_options.domain = report.domain;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(rel, detect_options, wm.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Detect)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FreqEmbed(benchmark::State& state) {
+  const Relation original =
+      BenchRelation(static_cast<std::size_t>(state.range(0)));
+  FreqMarkParams params;
+  params.quantization_step = 0.02;
+  const FrequencyMarker marker(SecretKey::FromSeed(4), params);
+  const BitVector wm = MakeWatermark(8, 4);
+  for (auto _ : state) {
+    Relation rel = original;
+    benchmark::DoNotOptimize(marker.Embed(rel, "A", wm));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FreqEmbed)->Arg(10000)->Arg(100000);
+
+void BM_FitnessTest(benchmark::State& state) {
+  const FitnessSelector fitness(SecretKey::FromSeed(5), 60);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fitness.IsFit(Value(v++)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FitnessTest);
+
+}  // namespace
+}  // namespace catmark
+
+BENCHMARK_MAIN();

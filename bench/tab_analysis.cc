@@ -1,0 +1,129 @@
+// Section 4.4 worked analysis — the paper's "table": false-positive
+// probabilities, the P(15, 1200) random-attack example, the minimum-e
+// derivation, and the expected final-mark alteration, each printed as
+// paper-claimed vs. our closed form, plus a Monte-Carlo cross-check of the
+// expected-alteration model against the real embedder under a real attack.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "attack/attacks.h"
+#include "core/analysis.h"
+#include "exp/harness.h"
+
+namespace catmark {
+namespace {
+
+std::string Sci(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+void FalsePositives() {
+  PrintTableTitle("Section 4.4 (a): false-positive (court) probabilities");
+  PrintTableHeader({"quantity", "paper", "computed"});
+  PrintTableRow({"(1/2)^|wm|, |wm|=10", "9.77e-04",
+                 Sci(FalsePositiveProbability(10))});
+  PrintTableRow({"(1/2)^(N/e), N=6000 e=60", "7.8e-31",
+                 Sci(FalsePositiveProbability(100))});
+}
+
+void AttackSuccess() {
+  PrintTableTitle(
+      "Section 4.4 (b): random attack success P(r=15, a=1200), e=60, p=0.7");
+  RandomAttackModel model;
+  model.attacked_tuples = 1200;
+  model.e = 60;
+  model.flip_probability = 0.7;
+  PrintTableHeader({"method", "value"});
+  PrintTableRow({"paper (CLT estimate)", "0.316"});
+  PrintTableRow({"CLT (eq. 2)",
+                 Sci(AttackSuccessProbability(model, 15, /*exact=*/false))});
+  PrintTableRow({"exact binomial tail",
+                 Sci(AttackSuccessProbability(model, 15, /*exact=*/true))});
+}
+
+void MinimumE() {
+  PrintTableTitle(
+      "Section 4.4 (c): minimum e for vulnerability <= 10% "
+      "(a=600, r=15, p=0.7)");
+  const double n_star = MaxHitTuplesForVulnerabilityBound(15, 0.7, 0.1);
+  const std::uint64_t e_min = MinimumEForVulnerability(600, 15, 0.7, 0.1);
+  PrintTableHeader({"quantity", "paper", "computed"});
+  PrintTableRow({"max marked tuples hit n*", "-", FormatDouble(n_star, 1)});
+  PrintTableRow({"minimum e", "23", std::to_string(e_min)});
+  PrintTableRow({"embedding alteration 1/e (%)", "4.3",
+                 FormatDouble(100.0 / static_cast<double>(e_min), 1)});
+  std::printf(
+      "\nNote: the paper's own arithmetic for this example is not exactly\n"
+      "recoverable from equation (2); our solver follows the same method\n"
+      "(z-score bound on the binomial tail) and reports its exact result.\n"
+      "See EXPERIMENTS.md.\n");
+}
+
+void ExpectedAlteration() {
+  PrintTableTitle(
+      "Section 4.4 (d): expected final mark alteration "
+      "(r=15, |wm_data|=100, tecc=5%, |wm|=10)");
+  PrintTableHeader({"quantity", "paper", "computed"});
+  PrintTableRow(
+      {"mark alteration (%)", "1.0",
+       FormatDouble(100.0 * ExpectedMarkAlterationFraction(15, 100, 0.05, 10),
+                    2)});
+}
+
+void MonteCarloCrossCheck() {
+  // Empirical counterpart: run the real embedder + 20% random-alteration
+  // attack and compare the measured mean mark alteration against the
+  // closed-form expectation with r = (a/e) * p flipped payload bits
+  // (uniform redraw over the domain flips an embedded LSB w.p. ~1/2).
+  PrintTableTitle(
+      "Section 4.4 (e): Monte-Carlo cross-check of the alteration model");
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  WatermarkParams params;
+  params.e = 60;
+  const double attack = 0.20;
+
+  const TrialOutcome outcome = RunAveragedTrial(
+      config, params, [attack](const Relation& rel, std::uint64_t seed) {
+        return SubsetAlterationAttack(rel, "A", attack, seed);
+      });
+
+  const double a = attack * static_cast<double>(config.num_tuples);
+  const double p_flip = 0.5;
+  const std::uint64_t r =
+      static_cast<std::uint64_t>(a / static_cast<double>(params.e) * p_flip);
+  const std::size_t payload =
+      config.num_tuples / static_cast<std::size_t>(params.e);
+  const double model_pct =
+      100.0 *
+      ExpectedMarkAlterationFraction(r, payload, /*tecc=*/0.05,
+                                     config.wm_bits);
+
+  PrintTableHeader({"quantity", "model", "measured"});
+  PrintTableRow({"mark alteration at 20% attack (%)",
+                 FormatDouble(model_pct),
+                 FormatDouble(outcome.mean_alteration_pct)});
+  std::printf(
+      "\nThe closed form treats error propagation as uniform and stable;\n"
+      "the measured value reflects the real majority-voting decoder, so\n"
+      "agreement is expected in order of magnitude, not digit-for-digit.\n");
+}
+
+void Run() {
+  FalsePositives();
+  AttackSuccess();
+  MinimumE();
+  ExpectedAlteration();
+  MonteCarloCrossCheck();
+}
+
+}  // namespace
+}  // namespace catmark
+
+int main() {
+  catmark::Run();
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "attack/attacks.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "random/distributions.h"
+#include "relation/ops.h"
+
+namespace catmark {
+
+Result<Relation> HorizontalPartitionAttack(const Relation& rel,
+                                           double keep_fraction,
+                                           std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  return SampleRows(rel, keep_fraction, rng);
+}
+
+Result<Relation> SubsetAdditionAttack(const Relation& rel, double add_fraction,
+                                      std::uint64_t seed) {
+  if (add_fraction < 0.0) {
+    return Status::InvalidArgument("add_fraction must be >= 0");
+  }
+  if (rel.empty()) return Status::FailedPrecondition("empty relation");
+  Xoshiro256ss rng(seed);
+  Relation out = rel;
+  const std::size_t to_add = static_cast<std::size_t>(
+      std::llround(add_fraction * static_cast<double>(rel.NumRows())));
+  const int pk = rel.schema().primary_key_index();
+
+  // Existing PK values (to keep the attacked set key-consistent).
+  std::unordered_set<std::int64_t> used_keys;
+  if (pk >= 0 && rel.schema().column(static_cast<std::size_t>(pk)).type ==
+                     ColumnType::kInt64) {
+    for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+      const Value& v = rel.Get(i, static_cast<std::size_t>(pk));
+      if (v.is_int64()) used_keys.insert(v.AsInt64());
+    }
+  }
+
+  for (std::size_t n = 0; n < to_add; ++n) {
+    // Clone a random tuple: preserves the joint empirical distribution of
+    // every non-key attribute, which is the stealthiest addition Mallory
+    // can make without understanding the data.
+    Row row = rel.row(rng.NextBounded(rel.NumRows()));
+    if (pk >= 0) {
+      const Column& pk_col = rel.schema().column(static_cast<std::size_t>(pk));
+      if (pk_col.type == ColumnType::kInt64) {
+        std::int64_t fresh;
+        do {
+          fresh = static_cast<std::int64_t>(rng.NextBounded(1ULL << 62));
+        } while (!used_keys.insert(fresh).second);
+        row[static_cast<std::size_t>(pk)] = Value(fresh);
+      } else if (pk_col.type == ColumnType::kString) {
+        row[static_cast<std::size_t>(pk)] =
+            Value("ADD" + std::to_string(rng.Next()));
+      }
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<Relation> SubsetAlterationAttack(const Relation& rel,
+                                        const std::string& column,
+                                        double alter_fraction,
+                                        std::uint64_t seed,
+                                        AlterationMode mode) {
+  if (alter_fraction < 0.0 || alter_fraction > 1.0) {
+    return Status::InvalidArgument("alter_fraction must be in [0,1]");
+  }
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t col,
+                           rel.schema().ColumnIndexOrError(column));
+  CATMARK_ASSIGN_OR_RETURN(CategoricalDomain domain,
+                           CategoricalDomain::FromRelationColumn(rel, col));
+  if (domain.size() < 2 && mode == AlterationMode::kForceDifferent) {
+    return Status::FailedPrecondition(
+        "cannot force a different value on a 1-value domain");
+  }
+
+  Xoshiro256ss rng(seed);
+  Relation out = rel;
+  const std::size_t n_alter = static_cast<std::size_t>(
+      std::llround(alter_fraction * static_cast<double>(rel.NumRows())));
+  for (std::size_t i :
+       SampleWithoutReplacement(rel.NumRows(), n_alter, rng)) {
+    std::size_t t = rng.NextBounded(domain.size());
+    if (mode == AlterationMode::kForceDifferent) {
+      const auto cur = domain.IndexOf(out.Get(i, col));
+      while (cur.has_value() && t == *cur) {
+        t = rng.NextBounded(domain.size());
+      }
+    }
+    CATMARK_RETURN_IF_ERROR(out.Set(i, col, domain.value(t)));
+  }
+  return out;
+}
+
+Relation ResortAttack(const Relation& rel, std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  return ShuffleRows(rel, rng);
+}
+
+Result<Relation> VerticalPartitionAttack(
+    const Relation& rel, const std::vector<std::string>& columns) {
+  return Project(rel, columns);
+}
+
+Result<Relation> MixAndMatchAttack(const Relation& a, const Relation& b,
+                                   double fraction_from_a,
+                                   std::uint64_t seed) {
+  if (fraction_from_a < 0.0 || fraction_from_a > 1.0) {
+    return Status::InvalidArgument("fraction_from_a must be in [0,1]");
+  }
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("mix-and-match needs matching schemas");
+  }
+  Xoshiro256ss rng(seed);
+  CATMARK_ASSIGN_OR_RETURN(Relation mixed,
+                           SampleRows(a, fraction_from_a, rng));
+  CATMARK_ASSIGN_OR_RETURN(const Relation from_b,
+                           SampleRows(b, 1.0 - fraction_from_a, rng));
+  CATMARK_RETURN_IF_ERROR(AppendAll(mixed, from_b));
+  return ShuffleRows(mixed, rng);
+}
+
+Result<RemapAttackResult> BijectiveRemapAttack(const Relation& rel,
+                                               const std::string& column,
+                                               std::uint64_t seed) {
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t col,
+                           rel.schema().ColumnIndexOrError(column));
+  CATMARK_ASSIGN_OR_RETURN(CategoricalDomain domain,
+                           CategoricalDomain::FromRelationColumn(rel, col));
+  Xoshiro256ss rng(seed);
+
+  // Fresh synthetic labels, randomly drawn so neither order nor format leaks
+  // the original values.
+  std::unordered_set<std::string> used;
+  std::vector<std::string> new_labels;
+  new_labels.reserve(domain.size());
+  while (new_labels.size() < domain.size()) {
+    std::string label = "R" + std::to_string(rng.NextBounded(100000000));
+    if (used.insert(label).second) new_labels.push_back(std::move(label));
+  }
+
+  RemapAttackResult result;
+  for (std::size_t t = 0; t < domain.size(); ++t) {
+    result.ground_truth.forward[domain.value(t).ToString()] = new_labels[t];
+  }
+
+  // The remapped attribute becomes a STRING column regardless of its
+  // original type (a new data domain, as Section 4.5 describes).
+  std::vector<Column> cols = rel.schema().columns();
+  cols[col].type = ColumnType::kString;
+  std::string pk;
+  if (rel.schema().has_primary_key()) {
+    pk = cols[static_cast<std::size_t>(rel.schema().primary_key_index())].name;
+  }
+  CATMARK_ASSIGN_OR_RETURN(Schema schema, Schema::Create(cols, pk));
+  Relation out(std::move(schema));
+  out.Reserve(rel.NumRows());
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    Row row = rel.row(i);
+    const Value& v = row[col];
+    if (!v.is_null()) {
+      const auto t = domain.IndexOf(v);
+      CATMARK_CHECK(t.has_value());
+      row[col] = Value(new_labels[*t]);
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  result.relation = std::move(out);
+  return result;
+}
+
+}  // namespace catmark

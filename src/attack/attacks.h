@@ -1,0 +1,85 @@
+#ifndef CATMARK_ATTACK_ATTACKS_H_
+#define CATMARK_ATTACK_ATTACKS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "random/rng.h"
+#include "relation/domain.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// The adversary model of Section 2.3. Every attack takes the (Mallory-held)
+/// relation and returns the attacked copy; all randomness is seeded so
+/// experiments are reproducible. Attacks never use the watermark keys — the
+/// adversary does not have them.
+
+/// A1 — Horizontal data partitioning: Mallory keeps a random subset holding
+/// `keep_fraction` of the tuples ("data loss" in Figure 7).
+Result<Relation> HorizontalPartitionAttack(const Relation& rel,
+                                           double keep_fraction,
+                                           std::uint64_t seed);
+
+/// A2 — Subset addition: adds `add_fraction * N` fresh tuples drawn from the
+/// empirical distribution of the existing data (each new tuple clones a
+/// random existing one and replaces the primary key with a fresh value), so
+/// the useful properties of the set are not significantly altered.
+Result<Relation> SubsetAdditionAttack(const Relation& rel, double add_fraction,
+                                      std::uint64_t seed);
+
+/// How A3 picks replacement values.
+enum class AlterationMode {
+  kUniformRandom,   ///< uniform draw from the domain (may pick the old value)
+  kForceDifferent,  ///< uniform draw excluding the old value
+};
+
+/// A3 — Subset alteration: re-assigns the categorical attribute `column` of
+/// `alter_fraction * N` randomly chosen tuples to random domain values.
+/// This is the "random attack ... the only alternative available" analyzed
+/// in Section 4.4 and swept in Figures 4-6 ("attack size").
+Result<Relation> SubsetAlterationAttack(
+    const Relation& rel, const std::string& column, double alter_fraction,
+    std::uint64_t seed, AlterationMode mode = AlterationMode::kUniformRandom);
+
+/// A4 — Subset re-sorting: random permutation of the tuples. Detection must
+/// be invariant to this (and is, since every decision is per-tuple).
+Relation ResortAttack(const Relation& rel, std::uint64_t seed);
+
+/// A5 — Vertical data partitioning: Mallory keeps only `columns`. The
+/// primary key survives only if listed.
+Result<Relation> VerticalPartitionAttack(const Relation& rel,
+                                         const std::vector<std::string>& columns);
+
+/// Ground truth of an A6 attack: forward value mapping a_i -> a'_i.
+/// Returned for experiment scoring only — a real Mallory keeps it secret.
+struct RemapGroundTruth {
+  std::unordered_map<std::string, std::string> forward;  // old str -> new str
+};
+
+/// A6 — Bijective attribute re-mapping: maps every domain value of `column`
+/// to a fresh synthetic label ("R000017"-style), applied consistently to all
+/// tuples. Section 4.5's frequency-based recovery inverts it.
+struct RemapAttackResult {
+  Relation relation;
+  RemapGroundTruth ground_truth;
+};
+Result<RemapAttackResult> BijectiveRemapAttack(const Relation& rel,
+                                               const std::string& column,
+                                               std::uint64_t seed);
+
+/// Mix-and-match attack: Mallory blends random subsets of two relations
+/// (e.g. data bought from two collectors) hoping to dilute both marks —
+/// `fraction_from_a` of `a`'s tuples plus (1 - fraction_from_a) of `b`'s.
+/// Schemas must match. Each owner's mark keeps its votes from its own
+/// tuples, so detection degrades only like subset selection (Figure 7).
+Result<Relation> MixAndMatchAttack(const Relation& a, const Relation& b,
+                                   double fraction_from_a,
+                                   std::uint64_t seed);
+
+}  // namespace catmark
+
+#endif  // CATMARK_ATTACK_ATTACKS_H_

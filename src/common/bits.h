@@ -1,0 +1,63 @@
+#ifndef CATMARK_COMMON_BITS_H_
+#define CATMARK_COMMON_BITS_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace catmark {
+
+/// Bit-twiddling helpers mirroring the paper's notation (Section 2.1):
+/// b(X) is the number of bits required to represent X, msb(X, b) the most
+/// significant b bits (left-padding with zeroes when X is narrower), and
+/// set_bit(d, a, b) returns d with bit position a set to value b.
+
+/// b(X): number of bits required to represent `x`. By convention b(0) == 1
+/// (a value domain of size 1 still needs one bit position to name it).
+constexpr int BitWidth(std::uint64_t x) {
+  int w = 1;
+  while (x > 1) {
+    x >>= 1;
+    ++w;
+  }
+  return w;
+}
+
+/// msb(X, b): the most significant `b` bits of the `width`-bit representation
+/// of `x`. When b(x) < width the value is conceptually left-padded with
+/// zeroes, exactly as the paper specifies.
+constexpr std::uint64_t Msb(std::uint64_t x, int b, int width = 64) {
+  CATMARK_CHECK(b >= 0 && b <= width && width >= 1 && width <= 64);
+  if (b == 0) return 0;
+  return x >> (width - b);
+}
+
+/// set_bit(d, a, bit): `d` with bit position `a` (0 = least significant)
+/// forced to `bit` (0 or 1).
+constexpr std::uint64_t SetBit(std::uint64_t d, int a, int bit) {
+  CATMARK_CHECK(a >= 0 && a < 64 && (bit == 0 || bit == 1));
+  const std::uint64_t mask = std::uint64_t{1} << a;
+  return bit ? (d | mask) : (d & ~mask);
+}
+
+/// Bit at position `a` of `d` (0 = least significant).
+constexpr int GetBit(std::uint64_t d, int a) {
+  CATMARK_CHECK(a >= 0 && a < 64);
+  return static_cast<int>((d >> a) & 1u);
+}
+
+/// Smallest power of two >= x (x must be >= 1 and representable).
+constexpr std::uint64_t NextPowerOfTwo(std::uint64_t x) {
+  std::uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// True when x is a power of two (x >= 1).
+constexpr bool IsPowerOfTwo(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace catmark
+
+#endif  // CATMARK_COMMON_BITS_H_

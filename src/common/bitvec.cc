@@ -1,0 +1,89 @@
+#include "common/bitvec.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace catmark {
+
+BitVector::BitVector(std::size_t size, int fill) : size_(size) {
+  CATMARK_CHECK(fill == 0 || fill == 1);
+  words_.assign((size + kWordBits - 1) / kWordBits,
+                fill ? ~std::uint64_t{0} : 0);
+  // Keep unused high bits of the last word zero so PopCount/== stay exact.
+  if (fill && size_ % kWordBits != 0) {
+    words_.back() &= (std::uint64_t{1} << (size_ % kWordBits)) - 1;
+  }
+}
+
+Result<BitVector> BitVector::FromString(std::string_view bits) {
+  BitVector out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      out.Set(i, 1);
+    } else if (bits[i] != '0') {
+      return Status::InvalidArgument("BitVector::FromString: bad character '" +
+                                     std::string(1, bits[i]) + "'");
+    }
+  }
+  return out;
+}
+
+int BitVector::Get(std::size_t i) const {
+  CATMARK_CHECK_LT(i, size_);
+  return static_cast<int>((words_[i / kWordBits] >> (i % kWordBits)) & 1u);
+}
+
+void BitVector::Set(std::size_t i, int bit) {
+  CATMARK_CHECK_LT(i, size_);
+  CATMARK_CHECK(bit == 0 || bit == 1);
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (bit) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVector::Flip(std::size_t i) { Set(i, 1 - Get(i)); }
+
+void BitVector::PushBack(int bit) {
+  if (size_ % kWordBits == 0) words_.push_back(0);
+  ++size_;
+  Set(size_ - 1, bit);
+}
+
+std::size_t BitVector::PopCount() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitVector::HammingDistance(const BitVector& other) const {
+  CATMARK_CHECK_EQ(size_, other.size_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return n;
+}
+
+double BitVector::NormalizedHammingDistance(const BitVector& other) const {
+  if (size_ == 0 && other.size_ == 0) return 0.0;
+  return static_cast<double>(HammingDistance(other)) /
+         static_cast<double>(size_);
+}
+
+std::string BitVector::ToString() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (Get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+bool operator==(const BitVector& a, const BitVector& b) {
+  return a.size_ == b.size_ && a.words_ == b.words_;
+}
+
+}  // namespace catmark

@@ -1,0 +1,80 @@
+#ifndef CATMARK_COMMON_BITVEC_H_
+#define CATMARK_COMMON_BITVEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace catmark {
+
+/// Dynamically sized bit vector. Watermarks (`wm`) and error-corrected
+/// watermark payloads (`wm_data`) are BitVectors throughout the library.
+///
+/// Bit order: index 0 is the first (leftmost in ToString()) bit.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// `size` bits, all initialized to `fill`.
+  explicit BitVector(std::size_t size, int fill = 0);
+
+  /// Parses a string of '0'/'1' characters ("101101").
+  static Result<BitVector> FromString(std::string_view bits);
+
+  /// Derives a `size`-bit vector from the low bits of the 64-bit words
+  /// produced by repeatedly calling `next()` (used for key-derived marks).
+  template <typename NextWord>
+  static BitVector FromGenerator(std::size_t size, NextWord next) {
+    BitVector out(size);
+    std::size_t i = 0;
+    while (i < size) {
+      std::uint64_t w = next();
+      for (int j = 0; j < 64 && i < size; ++j, ++i) {
+        out.Set(i, static_cast<int>((w >> j) & 1u));
+      }
+    }
+    return out;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Bit accessors; index must be < size() (checked).
+  int Get(std::size_t i) const;
+  void Set(std::size_t i, int bit);
+  void Flip(std::size_t i);
+
+  /// Appends one bit at the end.
+  void PushBack(int bit);
+
+  /// Number of one-bits.
+  std::size_t PopCount() const;
+
+  /// Number of positions where this and `other` differ. Sizes must match.
+  std::size_t HammingDistance(const BitVector& other) const;
+
+  /// Fraction of positions that differ, in [0,1]. Sizes must match;
+  /// empty vectors have distance 0.
+  double NormalizedHammingDistance(const BitVector& other) const;
+
+  /// "0"/"1" characters, index 0 first.
+  std::string ToString() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b);
+  friend bool operator!=(const BitVector& a, const BitVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_COMMON_BITVEC_H_

@@ -1,0 +1,54 @@
+#ifndef CATMARK_COMMON_CHECK_H_
+#define CATMARK_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace catmark {
+namespace internal {
+
+/// Stream-capable fatal logger backing CATMARK_CHECK. Aborting on programmer
+/// error (never on data error — data errors use Status). The destructor
+/// fires at the end of the full expression, after any streamed message.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << " CHECK failed: " << expr << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lowest-precedence operator so `CATMARK_CHECK(x) << msg` compiles to
+  // nothing when the check passes (glog idiom).
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace catmark
+
+/// Aborts with a message when `condition` is false. For invariants and
+/// programmer errors only; recoverable conditions must return Status.
+#define CATMARK_CHECK(condition)                                          \
+  (condition)                                                             \
+      ? (void)0                                                           \
+      : ::catmark::internal::Voidify() &                                  \
+            ::catmark::internal::CheckFailure(__FILE__, __LINE__, #condition) \
+                .stream()
+
+#define CATMARK_CHECK_EQ(a, b) CATMARK_CHECK((a) == (b))
+#define CATMARK_CHECK_NE(a, b) CATMARK_CHECK((a) != (b))
+#define CATMARK_CHECK_LT(a, b) CATMARK_CHECK((a) < (b))
+#define CATMARK_CHECK_LE(a, b) CATMARK_CHECK((a) <= (b))
+#define CATMARK_CHECK_GT(a, b) CATMARK_CHECK((a) > (b))
+#define CATMARK_CHECK_GE(a, b) CATMARK_CHECK((a) >= (b))
+
+#endif  // CATMARK_COMMON_CHECK_H_

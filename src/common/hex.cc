@@ -1,0 +1,45 @@
+#include "common/hex.h"
+
+namespace catmark {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(const std::uint8_t* data, std::size_t len) {
+  std::string out(len * 2, '0');
+  for (std::size_t i = 0; i < len; ++i) {
+    out[2 * i] = kHexDigits[data[i] >> 4];
+    out[2 * i + 1] = kHexDigits[data[i] & 0xf];
+  }
+  return out;
+}
+
+std::string HexEncode(const std::vector<std::uint8_t>& bytes) {
+  return HexEncode(bytes.data(), bytes.size());
+}
+
+Result<std::vector<std::uint8_t>> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("HexDecode: odd-length input");
+  }
+  std::vector<std::uint8_t> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = HexValue(hex[2 * i]);
+    const int lo = HexValue(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("HexDecode: non-hex character");
+    }
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return out;
+}
+
+}  // namespace catmark

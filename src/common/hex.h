@@ -1,0 +1,22 @@
+#ifndef CATMARK_COMMON_HEX_H_
+#define CATMARK_COMMON_HEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace catmark {
+
+/// Lower-case hex encoding of arbitrary bytes ("deadbeef").
+std::string HexEncode(const std::uint8_t* data, std::size_t len);
+std::string HexEncode(const std::vector<std::uint8_t>& bytes);
+
+/// Inverse of HexEncode; fails on odd length or non-hex characters.
+Result<std::vector<std::uint8_t>> HexDecode(std::string_view hex);
+
+}  // namespace catmark
+
+#endif  // CATMARK_COMMON_HEX_H_

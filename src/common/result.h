@@ -1,0 +1,75 @@
+#ifndef CATMARK_COMMON_RESULT_H_
+#define CATMARK_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace catmark {
+
+/// Result<T> carries either a value of type T or a non-OK Status
+/// (absl::StatusOr / arrow::Result idiom).
+///
+///   Result<Relation> r = ReadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Relation rel = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed Result from a non-OK status. Intentionally implicit
+  /// so `return Status::InvalidArgument(...);` works.
+  Result(Status status) : status_(std::move(status)) {
+    CATMARK_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; the Result must be ok() (checked).
+  const T& value() const& {
+    CATMARK_CHECK(ok()) << "value() on failed Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CATMARK_CHECK(ok()) << "value() on failed Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CATMARK_CHECK(ok()) << "value() on failed Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when failed.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or early-returns its
+/// Status on failure.
+#define CATMARK_CONCAT_INNER_(a, b) a##b
+#define CATMARK_CONCAT_(a, b) CATMARK_CONCAT_INNER_(a, b)
+#define CATMARK_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                   \
+  if (!var.ok()) return var.status();                   \
+  lhs = std::move(var).value()
+#define CATMARK_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CATMARK_ASSIGN_OR_RETURN_IMPL_(            \
+      CATMARK_CONCAT_(catmark_result_, __LINE__), lhs, rexpr)
+
+}  // namespace catmark
+
+#endif  // CATMARK_COMMON_RESULT_H_

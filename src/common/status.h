@@ -1,0 +1,100 @@
+#ifndef CATMARK_COMMON_STATUS_H_
+#define CATMARK_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace catmark {
+
+/// Canonical error space for the library. The library never throws; all
+/// fallible operations return Status (or Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,      ///< Caller passed an argument outside the contract.
+  kNotFound,             ///< A named entity (column, value, key) is missing.
+  kAlreadyExists,        ///< An entity that must be unique already exists.
+  kOutOfRange,           ///< Index or parameter outside its valid range.
+  kFailedPrecondition,   ///< Object state does not permit the operation.
+  kConstraintViolation,  ///< A data-quality (usability) constraint was hit.
+  kIoError,              ///< Filesystem / parsing failure.
+  kInternal,             ///< Invariant breakage inside the library.
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-type status carrying a code and an optional message.
+///
+/// Idiom (RocksDB/Arrow style):
+///   Status s = relation.AppendRow(row);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Default-constructed status is OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<CodeName>: <message>" or "OK".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Early-return helper: propagates a non-OK Status out of the enclosing
+/// function.
+#define CATMARK_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::catmark::Status _catmark_status = (expr);       \
+    if (!_catmark_status.ok()) return _catmark_status; \
+  } while (false)
+
+}  // namespace catmark
+
+#endif  // CATMARK_COMMON_STATUS_H_

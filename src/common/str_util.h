@@ -1,0 +1,30 @@
+#ifndef CATMARK_COMMON_STR_UTIL_H_
+#define CATMARK_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace catmark {
+
+/// Splits `s` on `sep`; empty fields are preserved ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// True when `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace catmark
+
+#endif  // CATMARK_COMMON_STR_UTIL_H_

@@ -1,0 +1,31 @@
+#include "core/additive_attack.h"
+
+#include "random/rng.h"
+
+namespace catmark {
+
+Result<AdditiveAttackResult> AdditiveWatermarkAttack(
+    const Relation& marked, const std::string& key_attr,
+    const std::string& target_attr, const WatermarkParams& params,
+    std::size_t mallory_wm_bits, std::uint64_t seed) {
+  if (mallory_wm_bits == 0) {
+    return Status::InvalidArgument("mallory_wm_bits must be > 0");
+  }
+  AdditiveAttackResult result;
+  result.relation = marked;
+  result.mallory_keys = WatermarkKeySet::FromSeed(seed);
+  Xoshiro256ss rng(seed ^ 0xADD17E);
+  result.mallory_wm = BitVector::FromGenerator(
+      mallory_wm_bits, [&rng] { return rng.Next(); });
+
+  EmbedOptions options;
+  options.key_attr = key_attr;
+  options.target_attr = target_attr;
+  const Embedder embedder(result.mallory_keys, params);
+  CATMARK_ASSIGN_OR_RETURN(
+      result.mallory_report,
+      embedder.Embed(result.relation, options, result.mallory_wm));
+  return result;
+}
+
+}  // namespace catmark

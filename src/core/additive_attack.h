@@ -1,0 +1,43 @@
+#ifndef CATMARK_CORE_ADDITIVE_ATTACK_H_
+#define CATMARK_CORE_ADDITIVE_ATTACK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitvec.h"
+#include "common/result.h"
+#include "core/embedder.h"
+#include "core/keys.h"
+#include "core/params.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// The additive watermark attack the paper's conclusions flag for analysis
+/// ("Additive watermark attacks need to be analyzed and handled"): Mallory
+/// runs the very same embedding algorithm over the owner's (already marked)
+/// data with his *own* keys and mark, then claims the data as his.
+///
+/// Properties this library lets you demonstrate (see
+/// tests/additive_attack_test.cc and bench/abl_additive_attack):
+///  * Mallory's pass only alters ~N/e tuples, so the owner's mark survives
+///    nearly intact — additive marking cannot *remove* a mark.
+///  * Both parties detect their marks, so detection alone cannot arbitrate;
+///    the dispute resolves procedurally via key commitment (whoever can
+///    produce a mark embedded in the *other* party's "original" wins, since
+///    the owner's original predates Mallory's copy).
+struct AdditiveAttackResult {
+  Relation relation;          ///< double-marked data Mallory redistributes
+  WatermarkKeySet mallory_keys;
+  BitVector mallory_wm;
+  EmbedReport mallory_report;
+};
+
+Result<AdditiveAttackResult> AdditiveWatermarkAttack(
+    const Relation& marked, const std::string& key_attr,
+    const std::string& target_attr, const WatermarkParams& params,
+    std::size_t mallory_wm_bits, std::uint64_t seed);
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_ADDITIVE_ATTACK_H_

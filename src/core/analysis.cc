@@ -1,0 +1,66 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "random/stats.h"
+
+namespace catmark {
+
+double FalsePositiveProbability(std::size_t wm_bits) {
+  return std::pow(0.5, static_cast<double>(wm_bits));
+}
+
+double AttackSuccessProbability(const RandomAttackModel& model,
+                                std::uint64_t r, bool exact) {
+  CATMARK_CHECK_GE(model.e, 1u);
+  CATMARK_CHECK(model.flip_probability >= 0.0 &&
+                model.flip_probability <= 1.0);
+  // Only every e-th tuple (on average) is watermarked: n = a/e trials.
+  const std::uint64_t n = model.attacked_tuples / model.e;
+  if (r > n) return 0.0;  // "If r > a/e then P(r,a) = 0"
+  if (exact) {
+    return BinomialTailAtLeast(n, r, model.flip_probability);
+  }
+  if (model.flip_probability <= 0.0 || model.flip_probability >= 1.0) {
+    return model.flip_probability >= 1.0 ? 1.0 : 0.0;
+  }
+  return BinomialTailNormalApprox(n, r, model.flip_probability);
+}
+
+double MaxHitTuplesForVulnerabilityBound(std::uint64_t r, double p,
+                                         double delta) {
+  CATMARK_CHECK(p > 0.0 && p < 1.0);
+  CATMARK_CHECK(delta > 0.0 && delta < 1.0);
+  CATMARK_CHECK_GE(r, 1u);
+  // Solve (r - n p) / sqrt(n p (1 - p)) = z  for n, with z = Phi^-1(1-delta).
+  // Substituting x = sqrt(n):  p x^2 + z sqrt(p(1-p)) x - r = 0.
+  const double z = NormalQuantile(1.0 - delta);
+  const double s = std::sqrt(p * (1.0 - p));
+  const double disc = z * z * p * (1.0 - p) +
+                      4.0 * p * static_cast<double>(r);
+  const double x = (-z * s + std::sqrt(disc)) / (2.0 * p);
+  return x * x;
+}
+
+std::uint64_t MinimumEForVulnerability(std::uint64_t a, std::uint64_t r,
+                                       double p, double delta) {
+  const double n_star = MaxHitTuplesForVulnerabilityBound(r, p, delta);
+  if (n_star <= 0.0) return a;  // degenerate: every e works only at a/e = 0
+  const double e_min = static_cast<double>(a) / n_star;
+  return static_cast<std::uint64_t>(std::ceil(e_min));
+}
+
+double ExpectedMarkAlterationFraction(std::uint64_t r,
+                                      std::size_t payload_len, double tecc,
+                                      std::size_t wm_len) {
+  CATMARK_CHECK_GE(payload_len, 1u);
+  const double damage =
+      static_cast<double>(r) / static_cast<double>(payload_len) - tecc;
+  if (damage <= 0.0) return 0.0;
+  const double frac = damage * static_cast<double>(wm_len) /
+                      static_cast<double>(payload_len);
+  return frac > 1.0 ? 1.0 : frac;
+}
+
+}  // namespace catmark

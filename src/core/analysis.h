@@ -1,0 +1,53 @@
+#ifndef CATMARK_CORE_ANALYSIS_H_
+#define CATMARK_CORE_ANALYSIS_H_
+
+#include <cstdint>
+
+namespace catmark {
+
+/// Closed-form attack-vulnerability analysis of Section 4.4.
+
+/// Court-time false positive: probability that a random data set of
+/// sufficient size yields a given |wm|-bit watermark — (1/2)^|wm|.
+double FalsePositiveProbability(std::size_t wm_bits);
+
+/// The random alteration attack model: Mallory alters `attacked_tuples` (a)
+/// random tuples; only ~a/e of them are actually watermarked, and each
+/// altered watermarked tuple flips its embedded bit with probability
+/// `flip_probability` (p).
+struct RandomAttackModel {
+  std::uint64_t attacked_tuples = 0;  ///< a
+  std::uint64_t e = 60;
+  double flip_probability = 0.7;      ///< p
+};
+
+/// P(r, a) — probability the attack flips at least r embedded wm_data bits
+/// (equation 1 with n = a/e Bernoulli(p) trials). `exact` sums the binomial
+/// tail; otherwise the paper's CLT approximation (equation 2) is used.
+double AttackSuccessProbability(const RandomAttackModel& model,
+                                std::uint64_t r, bool exact = true);
+
+/// Inverse question of Section 4.4: the largest number n* of
+/// attacked-and-watermarked tuples for which P[Bin(n, p) >= r] <= delta,
+/// via the paper's normal-approximation method
+/// ((r - n p) / sqrt(n p (1-p)) >= z_delta solved for n).
+double MaxHitTuplesForVulnerabilityBound(std::uint64_t r, double p,
+                                         double delta);
+
+/// Minimum e guaranteeing vulnerability <= delta when Mallory can afford to
+/// alter at most `a` tuples: the smallest e with a/e <= n*. The embedding
+/// then alters only ~N/e tuples (the "we have to alter only 4.3% of the
+/// data" computation).
+std::uint64_t MinimumEForVulnerability(std::uint64_t a, std::uint64_t r,
+                                       double p, double delta);
+
+/// Expected fraction of final watermark bits altered when r payload bits
+/// were flipped, the ECC absorbs a tecc fraction, and alteration propagation
+/// is uniform and stable:   (r/L - tecc) * |wm| / L  (Section 4.4).
+double ExpectedMarkAlterationFraction(std::uint64_t r,
+                                      std::size_t payload_len, double tecc,
+                                      std::size_t wm_len);
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_ANALYSIS_H_

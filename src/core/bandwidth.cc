@@ -1,0 +1,64 @@
+#include "core/bandwidth.h"
+
+#include <cmath>
+
+#include "relation/domain.h"
+#include "relation/histogram.h"
+
+namespace catmark {
+
+Result<AttributeBandwidth> AnalyzeAttributeBandwidth(const Relation& rel,
+                                                     const std::string& attr,
+                                                     std::uint64_t e,
+                                                     double q) {
+  if (e == 0) return Status::InvalidArgument("e must be >= 1");
+  if (q <= 0.0 || q >= 0.5) {
+    return Status::InvalidArgument("q must be in (0, 0.5)");
+  }
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t col,
+                           rel.schema().ColumnIndexOrError(attr));
+  CATMARK_ASSIGN_OR_RETURN(const CategoricalDomain domain,
+                           CategoricalDomain::FromRelationColumn(rel, col));
+  CATMARK_ASSIGN_OR_RETURN(const FrequencyHistogram hist,
+                           FrequencyHistogram::Compute(rel, col, domain));
+
+  AttributeBandwidth out;
+  out.attribute = attr;
+  out.domain_size = domain.size();
+  out.direct_domain_bits = std::log2(static_cast<double>(domain.size()));
+
+  for (std::size_t t = 0; t < domain.size(); ++t) {
+    const double f = hist.frequency(t);
+    if (f > 0.0) out.entropy_bits -= f * std::log2(f);
+  }
+
+  // Association channel: one wm_data bit per fit tuple; embedding alters a
+  // fit tuple unless its value already matches (probability ~1/2 of
+  // matching LSB times the base-value hit rate; upper bound 1/e is the
+  // honest price tag).
+  out.association_bits = rel.NumRows() / static_cast<std::size_t>(e);
+  out.association_alteration_fraction =
+      1.0 / static_cast<double>(e);
+
+  // Frequency channel: every bit needs its own hash group with >= 2
+  // categories in expectation; re-centring a group's mass moves up to q/2
+  // of the group's tuples (~q/2 * N / |wm| per bit on average, expressed
+  // here as fraction of N per bit).
+  out.frequency_bits = domain.size() / 2;
+  out.frequency_alteration_per_bit = q / 2.0;
+  return out;
+}
+
+Result<std::vector<AttributeBandwidth>> AnalyzeRelationBandwidth(
+    const Relation& rel, std::uint64_t e, double q) {
+  std::vector<AttributeBandwidth> out;
+  for (const std::size_t col : rel.schema().CategoricalColumns()) {
+    CATMARK_ASSIGN_OR_RETURN(
+        AttributeBandwidth bw,
+        AnalyzeAttributeBandwidth(rel, rel.schema().column(col).name, e, q));
+    out.push_back(std::move(bw));
+  }
+  return out;
+}
+
+}  // namespace catmark

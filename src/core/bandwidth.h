@@ -1,0 +1,51 @@
+#ifndef CATMARK_CORE_BANDWIDTH_H_
+#define CATMARK_CORE_BANDWIDTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Embedding-bandwidth analysis of one categorical attribute (Sections 2.4
+/// and 3.1): how many watermark bits each channel can carry, and at what
+/// alteration cost. "Often we can express the available bandwidth as an
+/// increasing function of allowed alterations."
+struct AttributeBandwidth {
+  std::string attribute;
+  std::size_t domain_size = 0;     ///< nA
+  double entropy_bits = 0.0;       ///< Shannon entropy of the value frequencies
+
+  /// Direct-domain capacity log2(nA) — the paper's 16000-city example
+  /// yields only 14 bits, which is why the association channel exists.
+  double direct_domain_bits = 0.0;
+
+  /// Association-channel capacity N/e for the given e (one payload bit per
+  /// fit tuple), and its price: the expected fraction of tuples altered.
+  std::size_t association_bits = 0;
+  double association_alteration_fraction = 0.0;
+
+  /// Frequency-transform channel capacity: the largest |wm| with at least
+  /// two categories per hash group in expectation (nA / 2), and the
+  /// expected fraction of tuples moved per embedded bit (~q/2 mass).
+  std::size_t frequency_bits = 0;
+  double frequency_alteration_per_bit = 0.0;
+};
+
+/// Analyzes one attribute under encoding parameter `e` and frequency
+/// quantization step `q`.
+Result<AttributeBandwidth> AnalyzeAttributeBandwidth(const Relation& rel,
+                                                     const std::string& attr,
+                                                     std::uint64_t e,
+                                                     double q);
+
+/// Analyzes every categorical attribute of the relation.
+Result<std::vector<AttributeBandwidth>> AnalyzeRelationBandwidth(
+    const Relation& rel, std::uint64_t e, double q);
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_BANDWIDTH_H_

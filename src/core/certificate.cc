@@ -1,0 +1,242 @@
+#include "core/certificate.h"
+
+#include <charconv>
+#include <cstring>
+
+#include "common/hex.h"
+#include "common/str_util.h"
+#include "crypto/sha256.h"
+
+namespace catmark {
+
+namespace {
+
+/// Type-tagged hex encoding of a Value ("i:<hex>", "d:<hex>", "s:<hex>").
+std::string EncodeValue(const Value& v) {
+  std::vector<std::uint8_t> bytes;
+  v.SerializeForHash(bytes);
+  // bytes[0] is the type tag from SerializeForHash; reuse it.
+  const char tag = v.is_int64() ? 'i' : (v.is_double() ? 'd' : 's');
+  return std::string(1, tag) + ":" +
+         HexEncode(bytes.data() + 1, bytes.size() - 1);
+}
+
+Result<Value> DecodeValue(std::string_view text) {
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::InvalidArgument("bad value encoding '" +
+                                   std::string(text) + "'");
+  }
+  CATMARK_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> bytes,
+                           HexDecode(text.substr(2)));
+  const char tag = text[0];
+  if (tag == 'i' || tag == 'd') {
+    if (bytes.size() != 8) {
+      return Status::InvalidArgument("numeric value needs 8 bytes");
+    }
+    std::uint64_t raw = 0;
+    for (std::uint8_t b : bytes) raw = (raw << 8) | b;
+    if (tag == 'i') return Value(static_cast<std::int64_t>(raw));
+    double d;
+    static_assert(sizeof(d) == sizeof(raw));
+    std::memcpy(&d, &raw, sizeof(d));
+    return Value(d);
+  }
+  if (tag == 's') {
+    if (bytes.size() < 8) {
+      return Status::InvalidArgument("string value needs length prefix");
+    }
+    // Skip the 8-byte length prefix SerializeForHash added.
+    return Value(std::string(bytes.begin() + 8, bytes.end()));
+  }
+  return Status::InvalidArgument("unknown value tag");
+}
+
+std::string_view EccName(EccKind kind) { return EccKindName(kind); }
+
+Result<EccKind> EccFromName(std::string_view name) {
+  for (const EccKind kind :
+       {EccKind::kMajorityVoting, EccKind::kIdentity,
+        EccKind::kBlockRepetition, EccKind::kHamming74}) {
+    if (EccKindName(kind) == name) return kind;
+  }
+  return Status::InvalidArgument("unknown ecc '" + std::string(name) + "'");
+}
+
+Result<HashAlgorithm> HashFromName(std::string_view name) {
+  for (const HashAlgorithm algo :
+       {HashAlgorithm::kMd5, HashAlgorithm::kSha1, HashAlgorithm::kSha256}) {
+    if (HashAlgorithmName(algo) == name) return algo;
+  }
+  return Status::InvalidArgument("unknown hash '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+std::string ComputeKeyCommitment(const WatermarkKeySet& keys) {
+  Sha256 sha;
+  sha.Reset();
+  sha.Update(keys.k1.bytes().data(), keys.k1.bytes().size());
+  sha.Update(keys.k2.bytes().data(), keys.k2.bytes().size());
+  return sha.Finish().ToHex();
+}
+
+WatermarkCertificate WatermarkCertificate::Create(
+    const WatermarkKeySet& keys, const WatermarkParams& params,
+    const EmbedOptions& options, const EmbedReport& report,
+    const BitVector& wm, std::vector<double> frequencies,
+    std::string description) {
+  WatermarkCertificate cert;
+  cert.description = std::move(description);
+  cert.key_attr = options.key_attr;
+  cert.target_attr = options.target_attr;
+  cert.params = params;
+  cert.payload_length = report.payload_length;
+  cert.wm = wm;
+  cert.domain = report.domain;
+  cert.frequencies = std::move(frequencies);
+  cert.key_commitment_hex = ComputeKeyCommitment(keys);
+  return cert;
+}
+
+bool WatermarkCertificate::VerifyKeys(const WatermarkKeySet& keys) const {
+  return ComputeKeyCommitment(keys) == key_commitment_hex;
+}
+
+std::string WatermarkCertificate::Serialize() const {
+  std::string out;
+  out += "catmark-certificate-v1\n";
+  out += "description=" + description + "\n";
+  out += "key_attr=" + key_attr + "\n";
+  out += "target_attr=" + target_attr + "\n";
+  out += "e=" + std::to_string(params.e) + "\n";
+  out += "ecc=" + std::string(EccName(params.ecc)) + "\n";
+  out += "hash=" + std::string(HashAlgorithmName(params.hash_algo)) + "\n";
+  out += "bit_index_mode=" +
+         std::string(params.bit_index_mode == BitIndexMode::kModulo
+                         ? "modulo"
+                         : "msb") +
+         "\n";
+  out += "min_category_keep=" + std::to_string(params.min_category_keep) +
+         "\n";
+  out += "payload_length=" + std::to_string(payload_length) + "\n";
+  out += "wm=" + wm.ToString() + "\n";
+  std::string domain_line = "domain=";
+  for (std::size_t i = 0; i < domain.size(); ++i) {
+    if (i > 0) domain_line += ',';
+    domain_line += EncodeValue(domain.value(i));
+  }
+  out += domain_line + "\n";
+  std::string freq_line = "frequencies=";
+  for (std::size_t i = 0; i < frequencies.size(); ++i) {
+    if (i > 0) freq_line += ',';
+    freq_line += StrFormat("%.17g", frequencies[i]);
+  }
+  out += freq_line + "\n";
+  out += "key_commitment=" + key_commitment_hex + "\n";
+  return out;
+}
+
+Result<WatermarkCertificate> WatermarkCertificate::Deserialize(
+    std::string_view text) {
+  const std::vector<std::string> lines = StrSplit(std::string(text), '\n');
+  if (lines.empty() || StrTrim(lines[0]) != "catmark-certificate-v1") {
+    return Status::InvalidArgument("not a catmark certificate");
+  }
+  WatermarkCertificate cert;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = StrTrim(lines[i]);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("certificate line missing '='");
+    }
+    const std::string_view key = line.substr(0, eq);
+    const std::string_view value = line.substr(eq + 1);
+    if (key == "description") {
+      cert.description = std::string(value);
+    } else if (key == "key_attr") {
+      cert.key_attr = std::string(value);
+    } else if (key == "target_attr") {
+      cert.target_attr = std::string(value);
+    } else if (key == "e") {
+      cert.params.e = std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (key == "ecc") {
+      CATMARK_ASSIGN_OR_RETURN(cert.params.ecc, EccFromName(value));
+    } else if (key == "hash") {
+      CATMARK_ASSIGN_OR_RETURN(cert.params.hash_algo, HashFromName(value));
+    } else if (key == "bit_index_mode") {
+      cert.params.bit_index_mode = value == "msb" ? BitIndexMode::kMsbModL
+                                                  : BitIndexMode::kModulo;
+    } else if (key == "min_category_keep") {
+      cert.params.min_category_keep =
+          std::strtol(std::string(value).c_str(), nullptr, 10);
+    } else if (key == "payload_length") {
+      cert.payload_length =
+          std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (key == "wm") {
+      CATMARK_ASSIGN_OR_RETURN(cert.wm, BitVector::FromString(value));
+    } else if (key == "domain") {
+      std::vector<Value> values;
+      if (!value.empty()) {
+        for (const std::string& field : StrSplit(value, ',')) {
+          CATMARK_ASSIGN_OR_RETURN(Value v, DecodeValue(field));
+          values.push_back(std::move(v));
+        }
+      }
+      if (!values.empty()) {
+        CATMARK_ASSIGN_OR_RETURN(cert.domain,
+                                 CategoricalDomain::FromValues(values));
+      }
+    } else if (key == "frequencies") {
+      if (!value.empty()) {
+        for (const std::string& field : StrSplit(value, ',')) {
+          cert.frequencies.push_back(std::strtod(field.c_str(), nullptr));
+        }
+      }
+    } else if (key == "key_commitment") {
+      cert.key_commitment_hex = std::string(value);
+    } else {
+      return Status::InvalidArgument("unknown certificate field '" +
+                                     std::string(key) + "'");
+    }
+  }
+  if (cert.wm.empty() || cert.payload_length == 0) {
+    return Status::InvalidArgument("certificate missing wm/payload_length");
+  }
+  return cert;
+}
+
+Result<CertifiedDetection> DetectWithCertificate(
+    const Relation& suspect, const WatermarkCertificate& certificate,
+    const WatermarkKeySet& keys, double alpha) {
+  if (!certificate.VerifyKeys(keys)) {
+    return Status::FailedPrecondition(
+        "supplied keys do not match the certificate's key commitment");
+  }
+  const Detector detector(keys, certificate.params);
+  DetectOptions options;
+  options.key_attr = certificate.key_attr;
+  options.target_attr = certificate.target_attr;
+  options.payload_length = certificate.payload_length;
+  if (!certificate.domain.empty()) options.domain = certificate.domain;
+  CertifiedDetection out;
+  CATMARK_ASSIGN_OR_RETURN(
+      out.detection,
+      detector.Detect(suspect, options, certificate.wm.size()));
+  out.decision = DecideOwnership(certificate.wm, out.detection.wm, alpha);
+  return out;
+}
+
+bool operator==(const WatermarkCertificate& a, const WatermarkCertificate& b) {
+  return a.description == b.description && a.key_attr == b.key_attr &&
+         a.target_attr == b.target_attr && a.params.e == b.params.e &&
+         a.params.ecc == b.params.ecc &&
+         a.params.hash_algo == b.params.hash_algo &&
+         a.params.bit_index_mode == b.params.bit_index_mode &&
+         a.params.min_category_keep == b.params.min_category_keep &&
+         a.payload_length == b.payload_length && a.wm == b.wm &&
+         a.domain == b.domain && a.frequencies == b.frequencies &&
+         a.key_commitment_hex == b.key_commitment_hex;
+}
+
+}  // namespace catmark

@@ -1,0 +1,28 @@
+#include "core/decision.h"
+
+#include "common/check.h"
+#include "random/stats.h"
+
+namespace catmark {
+
+std::size_t RequiredMatchThreshold(std::size_t wm_len, double alpha) {
+  CATMARK_CHECK(alpha > 0.0 && alpha < 1.0);
+  for (std::size_t m = 0; m <= wm_len; ++m) {
+    if (BinomialTailAtLeast(wm_len, m, 0.5) <= alpha) return m;
+  }
+  return wm_len + 1;  // unreachable bar: the mark is too short for alpha
+}
+
+OwnershipDecision DecideOwnership(const BitVector& expected,
+                                  const BitVector& decoded, double alpha) {
+  const MatchStats stats = MatchWatermark(expected, decoded);
+  OwnershipDecision decision;
+  decision.matched_bits = stats.matched_bits;
+  decision.p_value = stats.false_match_probability;
+  decision.significance = alpha;
+  decision.threshold = RequiredMatchThreshold(expected.size(), alpha);
+  decision.owned = stats.matched_bits >= decision.threshold;
+  return decision;
+}
+
+}  // namespace catmark

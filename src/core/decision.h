@@ -1,0 +1,36 @@
+#ifndef CATMARK_CORE_DECISION_H_
+#define CATMARK_CORE_DECISION_H_
+
+#include <cstddef>
+
+#include "common/bitvec.h"
+#include "core/detector.h"
+
+namespace catmark {
+
+/// Ownership decision support: turns a decoded mark into a yes/no claim at
+/// a chosen significance level — the court-facing face of Section 4.4's
+/// false-positive analysis.
+struct OwnershipDecision {
+  bool owned = false;            ///< claim "this is my data"?
+  std::size_t matched_bits = 0;
+  std::size_t threshold = 0;     ///< bits required at this significance
+  double p_value = 1.0;          ///< P[>= matched bits matching by chance]
+  double significance = 0.0;     ///< alpha the threshold was derived for
+};
+
+/// Smallest match count m such that P[Binomial(wm_len, 1/2) >= m] <= alpha:
+/// the evidence bar a court should apply to a |wm|-bit mark. Returns
+/// wm_len + 1 when even a perfect match cannot reach alpha (mark too short
+/// for that significance — pick a longer mark).
+std::size_t RequiredMatchThreshold(std::size_t wm_len, double alpha);
+
+/// Decides ownership of `decoded` against the owner's `expected` mark at
+/// significance `alpha` (default 0.1%).
+OwnershipDecision DecideOwnership(const BitVector& expected,
+                                  const BitVector& decoded,
+                                  double alpha = 1e-3);
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_DECISION_H_

@@ -1,0 +1,122 @@
+#include "core/detector.h"
+
+#include <vector>
+
+#include "core/codec.h"
+#include "core/embedder.h"
+#include "ecc/code.h"
+#include "random/stats.h"
+
+namespace catmark {
+
+MatchStats MatchWatermark(const BitVector& expected, const BitVector& decoded) {
+  MatchStats stats;
+  CATMARK_CHECK_EQ(expected.size(), decoded.size());
+  stats.total_bits = expected.size();
+  stats.matched_bits = expected.size() - expected.HammingDistance(decoded);
+  if (stats.total_bits > 0) {
+    stats.match_fraction = static_cast<double>(stats.matched_bits) /
+                           static_cast<double>(stats.total_bits);
+    stats.mark_alteration = 1.0 - stats.match_fraction;
+    stats.false_match_probability =
+        BinomialTailAtLeast(stats.total_bits, stats.matched_bits, 0.5);
+  }
+  return stats;
+}
+
+Detector::Detector(WatermarkKeySet keys, WatermarkParams params)
+    : keys_(std::move(keys)), params_(params) {
+  CATMARK_CHECK(keys_.valid()) << "invalid watermark key set (k1 == k2?)";
+  CATMARK_CHECK_GE(params_.e, 1u);
+}
+
+Result<DetectionResult> Detector::Detect(const Relation& rel,
+                                         const DetectOptions& options,
+                                         std::size_t wm_len) const {
+  if (wm_len == 0) {
+    return Status::InvalidArgument("watermark length must be > 0");
+  }
+  CATMARK_ASSIGN_OR_RETURN(
+      const std::size_t key_col,
+      rel.schema().ColumnIndexOrError(options.key_attr));
+  CATMARK_ASSIGN_OR_RETURN(
+      const std::size_t target_col,
+      rel.schema().ColumnIndexOrError(options.target_attr));
+  if (rel.empty()) {
+    return Status::FailedPrecondition("cannot detect in an empty relation");
+  }
+
+  CategoricalDomain domain;
+  if (options.domain.has_value()) {
+    domain = *options.domain;
+  } else {
+    CATMARK_ASSIGN_OR_RETURN(
+        domain, CategoricalDomain::FromRelationColumn(rel, target_col));
+  }
+  if (domain.size() < 2) {
+    return Status::FailedPrecondition("domain has fewer than 2 values");
+  }
+
+  DetectionResult result;
+  result.num_tuples = rel.NumRows();
+  const std::size_t payload_len =
+      options.payload_length != 0
+          ? options.payload_length
+          : (params_.payload_length != 0
+                 ? params_.payload_length
+                 : DerivePayloadLength(rel.NumRows(), params_.e, wm_len));
+  result.payload_length = payload_len;
+
+  const FitnessSelector fitness(keys_.k1, params_.e, params_.hash_algo);
+  const KeyedHasher position_hasher(keys_.k2, params_.hash_algo);
+
+  // Per-position vote tallies: multiple fit tuples can map to the same
+  // wm_data position; they all embedded the same bit, so majority-per-
+  // position cleans up attack damage before the ECC even runs.
+  std::vector<long> votes(payload_len, 0);
+
+  for (std::size_t j = 0; j < rel.NumRows(); ++j) {
+    const Value& key_value = rel.Get(j, key_col);
+    if (key_value.is_null()) continue;
+    const std::uint64_t h1 = fitness.KeyHash(key_value);
+    if (h1 % params_.e != 0) continue;
+    ++result.fit_tuples;
+
+    std::size_t idx;
+    if (options.embedding_map != nullptr) {
+      const auto found = options.embedding_map->Lookup(key_value);
+      if (!found.has_value()) continue;  // e.g. tuple added by Mallory
+      idx = *found % payload_len;
+    } else {
+      idx = PayloadIndexFromHash(HashValue(position_hasher, key_value),
+                                 payload_len, params_.bit_index_mode);
+    }
+
+    // Determine t such that T_j(A) = a_t, then read the embedded bit t & 1.
+    const Value& attr_value = rel.Get(j, target_col);
+    if (attr_value.is_null()) continue;
+    const auto t = domain.IndexOf(attr_value);
+    if (!t.has_value()) continue;  // value outside domain (A6 remap, noise)
+    ++result.usable_votes;
+    votes[idx] += ExtractBitFromValueIndex(*t) ? 1 : -1;
+  }
+
+  ExtractedPayload payload(payload_len);
+  for (std::size_t i = 0; i < payload_len; ++i) {
+    if (votes[i] == 0) continue;  // erased or tied — leave absent
+    payload.present.Set(i, 1);
+    payload.bits.Set(i, votes[i] > 0 ? 1 : 0);
+    ++result.positions_present;
+  }
+  result.payload_fill = payload_len == 0
+                            ? 0.0
+                            : static_cast<double>(result.positions_present) /
+                                  static_cast<double>(payload_len);
+
+  const std::unique_ptr<ErrorCorrectingCode> ecc = CreateEcc(params_.ecc);
+  CATMARK_ASSIGN_OR_RETURN(result.wm, ecc->Decode(payload, wm_len));
+  result.bit_confidence = ecc->DecodeConfidence(payload, wm_len);
+  return result;
+}
+
+}  // namespace catmark

@@ -1,0 +1,87 @@
+#ifndef CATMARK_CORE_DETECTOR_H_
+#define CATMARK_CORE_DETECTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/result.h"
+#include "core/embedding_map.h"
+#include "core/keys.h"
+#include "core/params.h"
+#include "relation/domain.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Detection inputs. Detection is *blind*: no original data — only the keys
+/// (inside the Detector), e (inside WatermarkParams), the payload length,
+/// the watermark length and the attribute domain.
+struct DetectOptions {
+  std::string key_attr;
+  std::string target_attr;
+
+  /// Domain the embedder used. When unset it is recovered from the suspect
+  /// data itself — correct as long as the attack did not remove entire
+  /// categories (after heavy data loss prefer passing the owner-side copy
+  /// from EmbedReport::domain).
+  std::optional<CategoricalDomain> domain;
+
+  /// |wm_data| used at embed time (EmbedReport::payload_length). When 0 it
+  /// is re-derived from the *suspect* relation's size — fine when no tuples
+  /// were added/removed, wrong after A1/A2; real deployments keep this one
+  /// integer as owner-side metadata.
+  std::size_t payload_length = 0;
+
+  /// Detect via the Figure 2(b) embedding-map variant instead of k2.
+  const EmbeddingMap* embedding_map = nullptr;
+};
+
+/// Detection outcome plus channel diagnostics.
+struct DetectionResult {
+  BitVector wm;                        ///< decoded watermark
+  std::size_t num_tuples = 0;          ///< suspect relation size
+  std::size_t fit_tuples = 0;          ///< tuples passing the fitness test
+  std::size_t usable_votes = 0;        ///< fit tuples with in-domain values
+  std::size_t payload_length = 0;      ///< |wm_data| used
+  std::size_t positions_present = 0;   ///< payload positions with >=1 vote
+  double payload_fill = 0.0;           ///< positions_present / payload_length
+
+  /// Per-bit decode confidence in [0,1] (majority margin; empty when the
+  /// configured ECC has no confidence notion). Court-facing evidence
+  /// quality: 1.0 = unanimous votes, 0.0 = fully erased / tied.
+  std::vector<double> bit_confidence;
+};
+
+/// Agreement between an expected and a decoded watermark, with the
+/// court-time statistics of Section 4.4.
+struct MatchStats {
+  std::size_t matched_bits = 0;
+  std::size_t total_bits = 0;
+  double match_fraction = 0.0;    ///< matched / total
+  double mark_alteration = 0.0;   ///< 1 - match_fraction (the figures' y-axis)
+  /// P[>= matched_bits of total match by pure chance] — the false-claim
+  /// probability a court would weigh; (1/2)^|wm| when all bits match.
+  double false_match_probability = 1.0;
+};
+
+MatchStats MatchWatermark(const BitVector& expected, const BitVector& decoded);
+
+/// wm_decode (Figure 2): blind watermark detection.
+class Detector {
+ public:
+  Detector(WatermarkKeySet keys, WatermarkParams params);
+
+  Result<DetectionResult> Detect(const Relation& rel,
+                                 const DetectOptions& options,
+                                 std::size_t wm_len) const;
+
+ private:
+  WatermarkKeySet keys_;
+  WatermarkParams params_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_DETECTOR_H_

@@ -1,0 +1,165 @@
+#include "core/embedder.h"
+
+#include <unordered_set>
+
+#include "core/codec.h"
+#include "ecc/code.h"
+
+namespace catmark {
+
+std::size_t DerivePayloadLength(std::size_t num_tuples, std::uint64_t e,
+                                std::size_t wm_len) {
+  const std::size_t bandwidth = num_tuples / static_cast<std::size_t>(e);
+  return bandwidth > wm_len ? bandwidth : wm_len;
+}
+
+Embedder::Embedder(WatermarkKeySet keys, WatermarkParams params)
+    : keys_(std::move(keys)), params_(params) {
+  CATMARK_CHECK(keys_.valid()) << "invalid watermark key set (k1 == k2?)";
+  CATMARK_CHECK_GE(params_.e, 1u);
+}
+
+Result<EmbedReport> Embedder::Embed(Relation& rel,
+                                    const EmbedOptions& options,
+                                    const BitVector& wm,
+                                    QualityAssessor* assessor,
+                                    EmbeddingLedger* ledger) const {
+  if (wm.empty()) {
+    return Status::InvalidArgument("watermark must be non-empty");
+  }
+  CATMARK_ASSIGN_OR_RETURN(
+      const std::size_t key_col,
+      rel.schema().ColumnIndexOrError(options.key_attr));
+  CATMARK_ASSIGN_OR_RETURN(
+      const std::size_t target_col,
+      rel.schema().ColumnIndexOrError(options.target_attr));
+  if (key_col == target_col) {
+    return Status::InvalidArgument(
+        "key and target attribute must differ (the channel is their "
+        "association)");
+  }
+  if (!rel.schema().column(target_col).categorical) {
+    return Status::FailedPrecondition(
+        "target attribute '" + options.target_attr +
+        "' is not categorical; this scheme embeds into categorical channels");
+  }
+
+  EmbedReport report;
+  report.num_tuples = rel.NumRows();
+  if (rel.empty()) {
+    return Status::FailedPrecondition("cannot watermark an empty relation");
+  }
+
+  if (options.domain.has_value()) {
+    report.domain = *options.domain;
+  } else {
+    CATMARK_ASSIGN_OR_RETURN(
+        report.domain,
+        CategoricalDomain::FromRelationColumn(rel, target_col));
+  }
+  const std::size_t domain_size = report.domain.size();
+  if (domain_size < 2) {
+    return Status::FailedPrecondition(
+        "target attribute domain has fewer than 2 values — zero channel "
+        "capacity (Section 3.3 note)");
+  }
+
+  const std::size_t payload_len =
+      params_.payload_length != 0
+          ? params_.payload_length
+          : DerivePayloadLength(rel.NumRows(), params_.e, wm.size());
+  report.payload_length = payload_len;
+
+  const std::unique_ptr<ErrorCorrectingCode> ecc = CreateEcc(params_.ecc);
+  CATMARK_ASSIGN_OR_RETURN(const BitVector wm_data,
+                           ecc->Encode(wm, payload_len));
+
+  const FitnessSelector fitness(keys_.k1, params_.e, params_.hash_algo);
+  const KeyedHasher position_hasher(keys_.k2, params_.hash_algo);
+
+  // Occurrence counts per domain value, for the category-draining guard.
+  std::vector<long> category_count(domain_size, 0);
+  if (params_.min_category_keep > 0) {
+    for (std::size_t j = 0; j < rel.NumRows(); ++j) {
+      const auto t = report.domain.IndexOf(rel.Get(j, target_col));
+      if (t.has_value()) ++category_count[*t];
+    }
+  }
+
+  std::unordered_set<std::size_t> positions;
+  std::size_t next_map_index = 0;
+
+  for (std::size_t j = 0; j < rel.NumRows(); ++j) {
+    const Value& key_value = rel.Get(j, key_col);
+    if (key_value.is_null()) continue;
+    const std::uint64_t h1 = fitness.KeyHash(key_value);
+    if (h1 % params_.e != 0) continue;
+    ++report.fit_tuples;
+
+    // wm_data bit position: keyed hash (Fig. 1a) or running map (Fig. 1b).
+    std::size_t idx;
+    if (options.build_embedding_map) {
+      idx = next_map_index % payload_len;
+      report.embedding_map.Insert(key_value, idx);
+      ++next_map_index;
+    } else {
+      idx = PayloadIndexFromHash(HashValue(position_hasher, key_value),
+                                 payload_len, params_.bit_index_mode);
+    }
+
+    if (ledger != nullptr && ledger->IsMarked(j, target_col)) {
+      ++report.skipped_by_ledger;
+      continue;
+    }
+
+    const int bit = wm_data.Get(idx);
+    const std::size_t t = SelectValueIndex(h1, domain_size, bit);
+    const Value& new_value = report.domain.value(t);
+    // Copy: rel.Set below overwrites the cell this would reference.
+    const Value old_value = rel.Get(j, target_col);
+
+    if (old_value == new_value) {
+      ++report.unchanged_tuples;
+      positions.insert(idx);
+      if (ledger != nullptr) ledger->Mark(j, target_col);
+      continue;
+    }
+
+    const std::optional<std::size_t> old_t =
+        params_.min_category_keep > 0
+            ? report.domain.IndexOf(old_value)
+            : std::optional<std::size_t>{};
+    if (old_t.has_value() &&
+        category_count[*old_t] <= params_.min_category_keep) {
+      ++report.skipped_by_domain_guard;
+      continue;
+    }
+
+    if (assessor != nullptr) {
+      const Status s =
+          assessor->ProposeAlteration(rel, j, target_col, new_value);
+      if (!s.ok()) {
+        if (!s.IsConstraintViolation()) return s;  // real failure
+        ++report.skipped_by_quality;
+        continue;
+      }
+    } else {
+      CATMARK_RETURN_IF_ERROR(rel.Set(j, target_col, new_value));
+    }
+    if (params_.min_category_keep > 0) {
+      if (old_t.has_value()) --category_count[*old_t];
+      ++category_count[t];
+    }
+    ++report.altered_tuples;
+    positions.insert(idx);
+    if (ledger != nullptr) ledger->Mark(j, target_col);
+  }
+
+  report.positions_written = positions.size();
+  report.alteration_fraction =
+      static_cast<double>(report.altered_tuples) /
+      static_cast<double>(report.num_tuples);
+  return report;
+}
+
+}  // namespace catmark

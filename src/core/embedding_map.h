@@ -1,0 +1,48 @@
+#ifndef CATMARK_CORE_EMBEDDING_MAP_H_
+#define CATMARK_CORE_EMBEDDING_MAP_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "relation/value.h"
+
+namespace catmark {
+
+/// The embedding map of the alternative algorithm (Figures 1(b)/2(b)): an
+/// owner-side table from primary-key value to the exact wm_data bit index
+/// embedded in that tuple (~N/e entries). Using it at detection recovers
+/// every bit exactly and removes the need for the second key k2, at the cost
+/// of keeping owner-side state.
+class EmbeddingMap {
+ public:
+  EmbeddingMap() = default;
+
+  /// Associates the tuple whose key attribute equals `pk` with wm_data
+  /// index `idx`. Re-inserting the same key overwrites.
+  void Insert(const Value& pk, std::size_t idx);
+
+  /// Index for `pk`, or nullopt when the tuple was not embedded.
+  std::optional<std::size_t> Lookup(const Value& pk) const;
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Owner-side persistence: one "hex(pk-bytes),index" line per entry.
+  std::string Serialize() const;
+  static Result<EmbeddingMap> Deserialize(std::string_view text);
+
+ private:
+  static std::string KeyOf(const Value& pk);
+
+  // Keyed by the canonical hash serialization of the PK value, so INT64 7
+  // and STRING "7" stay distinct.
+  std::unordered_map<std::string, std::size_t> map_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_EMBEDDING_MAP_H_

@@ -1,0 +1,75 @@
+#include "core/incremental.h"
+
+#include "core/codec.h"
+#include "ecc/code.h"
+
+namespace catmark {
+
+IncrementalWatermarker::IncrementalWatermarker(WatermarkKeySet keys,
+                                               WatermarkParams params,
+                                               const EmbedOptions& options,
+                                               const EmbedReport& report,
+                                               BitVector wm)
+    : keys_(std::move(keys)),
+      params_(params),
+      key_attr_(options.key_attr),
+      target_attr_(options.target_attr),
+      domain_(report.domain),
+      payload_length_(report.payload_length) {
+  CATMARK_CHECK(keys_.valid());
+  CATMARK_CHECK_GE(payload_length_, wm.size());
+  const auto ecc = CreateEcc(params_.ecc);
+  Result<BitVector> encoded = ecc->Encode(wm, payload_length_);
+  CATMARK_CHECK(encoded.ok()) << encoded.status().ToString();
+  wm_data_ = std::move(encoded).value();
+}
+
+Result<Value> IncrementalWatermarker::MarkedValueFor(const Value& key_value,
+                                                     bool& fit) const {
+  fit = false;
+  if (key_value.is_null()) return Value();
+  const FitnessSelector fitness(keys_.k1, params_.e, params_.hash_algo);
+  const std::uint64_t h1 = fitness.KeyHash(key_value);
+  if (h1 % params_.e != 0) return Value();
+  fit = true;
+  const KeyedHasher position_hasher(keys_.k2, params_.hash_algo);
+  const std::size_t idx =
+      PayloadIndexFromHash(HashValue(position_hasher, key_value),
+                           payload_length_, params_.bit_index_mode);
+  const std::size_t t =
+      SelectValueIndex(h1, domain_.size(), wm_data_.Get(idx));
+  return domain_.value(t);
+}
+
+Result<bool> IncrementalWatermarker::Insert(Relation& rel, Row row) const {
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t key_col,
+                           rel.schema().ColumnIndexOrError(key_attr_));
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t target_col,
+                           rel.schema().ColumnIndexOrError(target_attr_));
+  if (row.size() != rel.schema().num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  bool fit = false;
+  CATMARK_ASSIGN_OR_RETURN(const Value marked, MarkedValueFor(row[key_col], fit));
+  if (fit) row[target_col] = marked;
+  CATMARK_RETURN_IF_ERROR(rel.AppendRow(std::move(row)));
+  return fit;
+}
+
+Result<bool> IncrementalWatermarker::Refresh(Relation& rel,
+                                             std::size_t row_index) const {
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t key_col,
+                           rel.schema().ColumnIndexOrError(key_attr_));
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t target_col,
+                           rel.schema().ColumnIndexOrError(target_attr_));
+  if (row_index >= rel.NumRows()) return Status::OutOfRange("row index");
+  bool fit = false;
+  CATMARK_ASSIGN_OR_RETURN(
+      const Value marked, MarkedValueFor(rel.Get(row_index, key_col), fit));
+  if (fit) {
+    CATMARK_RETURN_IF_ERROR(rel.Set(row_index, target_col, marked));
+  }
+  return fit;
+}
+
+}  // namespace catmark

@@ -1,0 +1,61 @@
+#ifndef CATMARK_CORE_INCREMENTAL_H_
+#define CATMARK_CORE_INCREMENTAL_H_
+
+#include <string>
+
+#include "common/bitvec.h"
+#include "common/result.h"
+#include "core/embedder.h"
+#include "core/keys.h"
+#include "core/params.h"
+#include "relation/domain.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Incremental updates (Section 4.3): "As updates occur to the data, the
+/// resulting tuples can be evaluated on the fly for 'fitness' and
+/// watermarked accordingly." This wraps the per-tuple embedding rule so a
+/// live feed can keep a marked relation consistent without re-running the
+/// full embedding pass.
+///
+/// The payload length is pinned at construction (it must match the original
+/// embedding; see WatermarkParams::payload_length), so detection over the
+/// grown relation keeps working.
+class IncrementalWatermarker {
+ public:
+  /// `report` is the original embedding's report — it carries the payload
+  /// length and the attribute domain the updates must agree on.
+  IncrementalWatermarker(WatermarkKeySet keys, WatermarkParams params,
+                         const EmbedOptions& options, const EmbedReport& report,
+                         BitVector wm);
+
+  /// Watermarks `row` (if fit) and appends it to `rel`. Returns true when
+  /// the tuple was fit (and therefore carries a mark bit).
+  Result<bool> Insert(Relation& rel, Row row) const;
+
+  /// Re-evaluates an updated tuple in place: when the key attribute of row
+  /// `row_index` is fit, re-applies the embedding rule to the target
+  /// attribute (an UPDATE that touched either attribute may have destroyed
+  /// the bit). Returns true when the tuple is fit.
+  Result<bool> Refresh(Relation& rel, std::size_t row_index) const;
+
+  const CategoricalDomain& domain() const { return domain_; }
+  std::size_t payload_length() const { return payload_length_; }
+
+ private:
+  /// Computes the watermarked value for `key_value`, or nullopt when unfit.
+  Result<Value> MarkedValueFor(const Value& key_value, bool& fit) const;
+
+  WatermarkKeySet keys_;
+  WatermarkParams params_;
+  std::string key_attr_;
+  std::string target_attr_;
+  CategoricalDomain domain_;
+  std::size_t payload_length_;
+  BitVector wm_data_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_INCREMENTAL_H_

@@ -1,0 +1,21 @@
+#include "core/keys.h"
+
+#include <string>
+
+namespace catmark {
+
+WatermarkKeySet WatermarkKeySet::FromPassphrase(std::string_view passphrase) {
+  WatermarkKeySet ks;
+  ks.k1 = SecretKey::FromPassphrase(std::string(passphrase) + "/k1");
+  ks.k2 = SecretKey::FromPassphrase(std::string(passphrase) + "/k2");
+  return ks;
+}
+
+WatermarkKeySet WatermarkKeySet::FromSeed(std::uint64_t seed) {
+  WatermarkKeySet ks;
+  ks.k1 = SecretKey::FromSeed(seed * 2 + 0);
+  ks.k2 = SecretKey::FromSeed(seed * 2 + 1);
+  return ks;
+}
+
+}  // namespace catmark

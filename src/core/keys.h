@@ -1,0 +1,31 @@
+#ifndef CATMARK_CORE_KEYS_H_
+#define CATMARK_CORE_KEYS_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/keyed_hash.h"
+
+namespace catmark {
+
+/// The two secret keys of the scheme. k1 drives tuple fitness and new-value
+/// selection; k2 drives wm_data bit-position selection. Using distinct keys
+/// "ensures that there is no correlation between the selected tuples ... and
+/// the corresponding bit value positions" (Section 3.2.1).
+struct WatermarkKeySet {
+  SecretKey k1;
+  SecretKey k2;
+
+  /// Derives both keys from one passphrase with domain separation.
+  static WatermarkKeySet FromPassphrase(std::string_view passphrase);
+
+  /// Derives both keys from a 64-bit seed (experiment harness: "15 passes,
+  /// each seeded with a different key").
+  static WatermarkKeySet FromSeed(std::uint64_t seed);
+
+  bool valid() const { return !k1.empty() && !k2.empty() && !(k1 == k2); }
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_KEYS_H_

@@ -1,0 +1,66 @@
+#ifndef CATMARK_CORE_NUMERIC_SET_MARK_H_
+#define CATMARK_CORE_NUMERIC_SET_MARK_H_
+
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/result.h"
+#include "crypto/keyed_hash.h"
+
+namespace catmark {
+
+/// Standalone numeric-set watermarking primitive in the spirit of the
+/// paper's reference [10] (Sion, Atallah, Prabhakar, "On Watermarking
+/// Numeric Sets", IWDW 2002): hide bits in an *unordered set of numbers*
+/// while minimizing the absolute data change. The frequency-domain channel
+/// (core/freq_mark) is the categorical application of this idea; this
+/// module exposes the primitive itself for numeric columns.
+///
+/// Scheme (simplified variant, documented in DESIGN.md): the sorted set is
+/// cut into |wm| equal-size chunks of adjacent items; bit i is carried by
+/// the parity of chunk i's quantized mean (step = `quantization_fraction`
+/// of the full set's standard deviation). Embedding shifts every chunk item
+/// by the same minimal delta that re-centres the chunk mean in the nearest
+/// correct-parity cell. Chunk membership depends only on value *order*, so
+/// the mark survives re-shuffling trivially and uniform subset selection
+/// statistically (order statistics are stable).
+struct NumericSetMarkParams {
+  /// Absolute quantization step of the chunk means, in data units (pick
+  /// ~5% of the set's standard deviation). Robustness radius is half of
+  /// it; so is the worst-case per-item shift. An absolute step (rather
+  /// than one derived from the data) keeps embed and detect aligned even
+  /// though embedding itself moves the statistics slightly.
+  double quantization_step = 1.0;
+};
+
+struct NumericSetEmbedReport {
+  double max_item_change = 0.0;   ///< largest absolute per-item shift
+  double total_change = 0.0;      ///< sum of absolute shifts
+  std::vector<double> chunk_means;
+};
+
+class NumericSetMarker {
+ public:
+  NumericSetMarker(SecretKey key, NumericSetMarkParams params);
+
+  /// Embeds `wm` into `values` in place. Needs at least 4 items per bit.
+  Result<NumericSetEmbedReport> Embed(std::vector<double>& values,
+                                      const BitVector& wm) const;
+
+  /// Blind detection.
+  Result<BitVector> Detect(const std::vector<double>& values,
+                           std::size_t wm_len) const;
+
+ private:
+  /// Keyed, order-based chunk boundaries (the key perturbs boundary
+  /// placement so an adversary cannot target chunk edges).
+  std::vector<std::size_t> ChunkBounds(std::size_t n,
+                                       std::size_t chunks) const;
+
+  SecretKey key_;
+  NumericSetMarkParams params_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_NUMERIC_SET_MARK_H_

@@ -1,0 +1,54 @@
+#ifndef CATMARK_CORE_PARAMS_H_
+#define CATMARK_CORE_PARAMS_H_
+
+#include <cstdint>
+
+#include "crypto/hash.h"
+#include "ecc/code.h"
+
+namespace catmark {
+
+/// How a 64-bit keyed hash is reduced to a wm_data position in [0, L).
+enum class BitIndexMode {
+  /// H mod L — always in range, uniform; the library default.
+  kModulo,
+  /// Paper-literal msb(H, b(L)) followed by a final % L guard (the paper's
+  /// expression can exceed L-1 whenever L is not a power of two; see
+  /// DESIGN.md "Faithfulness notes").
+  kMsbModL,
+};
+
+/// Tunable parameters of the watermarking scheme (Section 3.2).
+struct WatermarkParams {
+  /// Encoding parameter e: a tuple is "fit" iff H(T(K), k1) mod e == 0, so
+  /// roughly N/e tuples carry the mark. Controls the trade-off between data
+  /// alteration (fewer fit tuples) and resilience (more fit tuples) —
+  /// analyzed in Section 4.4 and swept in Figures 5-6.
+  std::uint64_t e = 60;
+
+  /// crypto_hash() choice (MD5/SHA per Section 2.2; SHA-256 default).
+  HashAlgorithm hash_algo = HashAlgorithm::kSha256;
+
+  /// Error correcting code for wm -> wm_data (majority voting in the paper).
+  EccKind ecc = EccKind::kMajorityVoting;
+
+  BitIndexMode bit_index_mode = BitIndexMode::kModulo;
+
+  /// Payload (|wm_data|) length. 0 = derive as max(|wm|, N/e) at embed time.
+  /// The detector must be given the same value (the embed report carries
+  /// it): after a subset-selection attack the surviving tuple count N' no
+  /// longer determines the original N/e.
+  std::size_t payload_length = 0;
+
+  /// Embedding skips alterations that would drop a category of the target
+  /// attribute below this many occurrences. Draining a category would (a)
+  /// remove it from a blindly re-derived domain, shifting every higher
+  /// value index and scrambling detection, and (b) be a conspicuous
+  /// semantic change (a product vanishing from the catalogue). The skipped
+  /// bits are absorbed by the ECC. 0 disables the guard.
+  long min_category_keep = 1;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_PARAMS_H_

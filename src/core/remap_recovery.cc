@@ -1,0 +1,101 @@
+#include "core/remap_recovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "relation/histogram.h"
+
+namespace catmark {
+
+Result<RemapRecovery> RecoverBijectiveMapping(
+    const Relation& suspect, const std::string& attr,
+    const CategoricalDomain& original_domain,
+    const std::vector<double>& original_frequencies) {
+  if (original_frequencies.size() != original_domain.size()) {
+    return Status::InvalidArgument(
+        "original_frequencies must align with original_domain");
+  }
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t col,
+                           suspect.schema().ColumnIndexOrError(attr));
+
+  RemapRecovery recovery;
+  CATMARK_ASSIGN_OR_RETURN(
+      recovery.suspect_domain,
+      CategoricalDomain::FromRelationColumn(suspect, col));
+  CATMARK_ASSIGN_OR_RETURN(
+      FrequencyHistogram hist,
+      FrequencyHistogram::Compute(suspect, col, recovery.suspect_domain));
+
+  // Rank both sides by frequency (descending) and pair rank-by-rank: over a
+  // large sample, E[f(a'_i)] concentrates around f(a_j) of the true
+  // pre-image, so frequency rank is preserved.
+  std::vector<std::size_t> suspect_order(recovery.suspect_domain.size());
+  std::iota(suspect_order.begin(), suspect_order.end(), 0);
+  std::sort(suspect_order.begin(), suspect_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return hist.frequency(a) > hist.frequency(b);
+            });
+
+  std::vector<std::size_t> original_order(original_domain.size());
+  std::iota(original_order.begin(), original_order.end(), 0);
+  std::sort(original_order.begin(), original_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return original_frequencies[a] > original_frequencies[b];
+            });
+
+  recovery.suspect_to_original.assign(recovery.suspect_domain.size(),
+                                      RemapRecovery::npos);
+  const std::size_t matched =
+      std::min(suspect_order.size(), original_order.size());
+  double err = 0.0;
+  for (std::size_t rank = 0; rank < matched; ++rank) {
+    recovery.suspect_to_original[suspect_order[rank]] = original_order[rank];
+    err += std::abs(hist.frequency(suspect_order[rank]) -
+                    original_frequencies[original_order[rank]]);
+  }
+  recovery.mean_frequency_error =
+      matched == 0 ? 0.0 : err / static_cast<double>(matched);
+  return recovery;
+}
+
+Result<Relation> ApplyRecoveredMapping(
+    const Relation& suspect, const std::string& attr,
+    const RemapRecovery& recovery, const CategoricalDomain& original_domain) {
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t col,
+                           suspect.schema().ColumnIndexOrError(attr));
+
+  // Restore the column's type to the original domain's value type.
+  std::vector<Column> cols = suspect.schema().columns();
+  const Value& probe = original_domain.value(0);
+  cols[col].type = probe.is_int64()
+                       ? ColumnType::kInt64
+                       : (probe.is_double() ? ColumnType::kDouble
+                                            : ColumnType::kString);
+  std::string pk;
+  if (suspect.schema().has_primary_key()) {
+    pk = cols[static_cast<std::size_t>(suspect.schema().primary_key_index())]
+             .name;
+  }
+  CATMARK_ASSIGN_OR_RETURN(Schema schema, Schema::Create(cols, pk));
+
+  Relation out(std::move(schema));
+  out.Reserve(suspect.NumRows());
+  for (std::size_t r = 0; r < suspect.NumRows(); ++r) {
+    Row row = suspect.row(r);
+    Value& v = row[col];
+    if (!v.is_null()) {
+      const auto s_idx = recovery.suspect_domain.IndexOf(v);
+      if (s_idx.has_value() &&
+          recovery.suspect_to_original[*s_idx] != RemapRecovery::npos) {
+        v = original_domain.value(recovery.suspect_to_original[*s_idx]);
+      } else {
+        v = Value();  // unmatched: erase rather than mislead the detector
+      }
+    }
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace catmark

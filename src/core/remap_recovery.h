@@ -1,0 +1,55 @@
+#ifndef CATMARK_CORE_REMAP_RECOVERY_H_
+#define CATMARK_CORE_REMAP_RECOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/domain.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Recovered inverse of a bijective attribute re-mapping (Section 4.5).
+struct RemapRecovery {
+  /// Sorted domain of the *suspect* (remapped) attribute values.
+  CategoricalDomain suspect_domain;
+
+  /// suspect_to_original[i] = original domain index matched to suspect
+  /// domain index i, or npos when unmatched (suspect has more values than
+  /// the original domain).
+  std::vector<std::size_t> suspect_to_original;
+
+  /// Mean |estimated - known| frequency over matched pairs — a confidence
+  /// diagnostic (large values mean the matching is probably wrong).
+  double mean_frequency_error = 0.0;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Recovers the mapping by the paper's method: estimate the occurrence
+/// frequencies of the remapped values, sort both frequency sets, and
+/// associate items rank-by-rank ("sample this frequency in the suspected
+/// dataset and compare the resulting estimates with the known occurrence
+/// frequencies"). Requires the frequency distribution to be non-uniform —
+/// the paper's stated precondition.
+///
+/// `original_frequencies` is the owner-side f_A table, index-aligned with
+/// `original_domain` (nA doubles of metadata).
+Result<RemapRecovery> RecoverBijectiveMapping(
+    const Relation& suspect, const std::string& attr,
+    const CategoricalDomain& original_domain,
+    const std::vector<double>& original_frequencies);
+
+/// Applies the recovered inverse mapping: returns `suspect` with `attr`
+/// translated back into the original domain (unmatched values become NULL,
+/// and the column's type reverts to the original domain's type). Watermark
+/// detection then proceeds normally on the result.
+Result<Relation> ApplyRecoveredMapping(const Relation& suspect,
+                                       const std::string& attr,
+                                       const RemapRecovery& recovery,
+                                       const CategoricalDomain& original_domain);
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_REMAP_RECOVERY_H_

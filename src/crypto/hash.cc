@@ -1,0 +1,54 @@
+#include "crypto/hash.h"
+
+#include "common/hex.h"
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace catmark {
+
+std::string Digest::ToHex() const { return HexEncode(bytes.data(), size); }
+
+std::uint64_t Digest::ToUint64() const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+Digest HashFunction::Hash(const std::uint8_t* data, std::size_t len) {
+  Reset();
+  Update(data, len);
+  return Finish();
+}
+
+Digest HashFunction::Hash(std::string_view data) {
+  return Hash(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+std::string_view HashAlgorithmName(HashAlgorithm algo) {
+  switch (algo) {
+    case HashAlgorithm::kMd5:
+      return "MD5";
+    case HashAlgorithm::kSha1:
+      return "SHA-1";
+    case HashAlgorithm::kSha256:
+      return "SHA-256";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<HashFunction> CreateHash(HashAlgorithm algo) {
+  switch (algo) {
+    case HashAlgorithm::kMd5:
+      return std::make_unique<Md5>();
+    case HashAlgorithm::kSha1:
+      return std::make_unique<Sha1>();
+    case HashAlgorithm::kSha256:
+      return std::make_unique<Sha256>();
+  }
+  return nullptr;
+}
+
+}  // namespace catmark

@@ -1,0 +1,60 @@
+#ifndef CATMARK_CRYPTO_HASH_H_
+#define CATMARK_CRYPTO_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace catmark {
+
+/// Output of a cryptographic hash. Fixed storage for up to 32 bytes
+/// (SHA-256); `size` is the algorithm's true digest length.
+struct Digest {
+  std::array<std::uint8_t, 32> bytes{};
+  std::size_t size = 0;
+
+  /// Lower-case hex string of the digest.
+  std::string ToHex() const;
+
+  /// First 8 digest bytes interpreted big-endian. This is the 64-bit value
+  /// the watermarking layer works with; one-wayness of the full digest
+  /// carries over to any fixed truncation.
+  std::uint64_t ToUint64() const;
+
+  friend bool operator==(const Digest& a, const Digest& b) {
+    return a.size == b.size && a.bytes == b.bytes;
+  }
+};
+
+/// Streaming one-way hash interface (Section 2.2 of the paper relies on the
+/// existence of such a construct; MD5 and SHA are its named candidates).
+class HashFunction {
+ public:
+  virtual ~HashFunction() = default;
+
+  virtual std::string_view Name() const = 0;
+  virtual std::size_t DigestSize() const = 0;
+
+  /// Re-initializes the state; the object can be reused for a new message.
+  virtual void Reset() = 0;
+  virtual void Update(const std::uint8_t* data, std::size_t len) = 0;
+  virtual Digest Finish() = 0;
+
+  /// One-shot convenience: Reset + Update + Finish.
+  Digest Hash(const std::uint8_t* data, std::size_t len);
+  Digest Hash(std::string_view data);
+};
+
+/// Supported algorithms; kSha256 is the library default.
+enum class HashAlgorithm { kMd5, kSha1, kSha256 };
+
+std::string_view HashAlgorithmName(HashAlgorithm algo);
+
+/// Factory for a fresh hash object of the given algorithm.
+std::unique_ptr<HashFunction> CreateHash(HashAlgorithm algo);
+
+}  // namespace catmark
+
+#endif  // CATMARK_CRYPTO_HASH_H_

@@ -1,0 +1,55 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace catmark {
+
+namespace {
+constexpr std::size_t kBlockSize = 64;  // MD5/SHA-1/SHA-256 block size
+}  // namespace
+
+Hmac::Hmac(HashAlgorithm algo, const std::vector<std::uint8_t>& key)
+    : algo_(algo) {
+  // Keys longer than the block size are hashed first (RFC 2104).
+  std::vector<std::uint8_t> k = key;
+  if (k.size() > kBlockSize) {
+    const auto hash = CreateHash(algo_);
+    const Digest d = hash->Hash(k.data(), k.size());
+    const std::size_t n = std::min(d.size, d.bytes.size());
+    k.assign(d.bytes.data(), d.bytes.data() + n);
+  }
+  k.resize(kBlockSize, 0);
+  ipad_key_.resize(kBlockSize);
+  opad_key_.resize(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+}
+
+Digest Hmac::Compute(const std::uint8_t* data, std::size_t len) const {
+  const auto inner = CreateHash(algo_);
+  inner->Reset();
+  inner->Update(ipad_key_.data(), ipad_key_.size());
+  inner->Update(data, len);
+  const Digest inner_digest = inner->Finish();
+
+  const auto outer = CreateHash(algo_);
+  outer->Reset();
+  outer->Update(opad_key_.data(), opad_key_.size());
+  outer->Update(inner_digest.bytes.data(), inner_digest.size);
+  return outer->Finish();
+}
+
+Digest Hmac::Compute(std::string_view data) const {
+  return Compute(reinterpret_cast<const std::uint8_t*>(data.data()),
+                 data.size());
+}
+
+std::uint64_t Hmac::Compute64(std::string_view data) const {
+  return Compute(data).ToUint64();
+}
+
+}  // namespace catmark

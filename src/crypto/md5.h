@@ -1,0 +1,34 @@
+#ifndef CATMARK_CRYPTO_MD5_H_
+#define CATMARK_CRYPTO_MD5_H_
+
+#include <cstdint>
+
+#include "crypto/hash.h"
+
+namespace catmark {
+
+/// MD5 message digest (RFC 1321). 128-bit output. Provided because the paper
+/// names it as a crypto_hash() candidate; prefer SHA-256 for new uses.
+class Md5 final : public HashFunction {
+ public:
+  Md5() { Reset(); }
+
+  std::string_view Name() const override { return "MD5"; }
+  std::size_t DigestSize() const override { return 16; }
+
+  void Reset() override;
+  void Update(const std::uint8_t* data, std::size_t len) override;
+  Digest Finish() override;
+
+ private:
+  void Transform(const std::uint8_t block[64]);
+
+  std::uint32_t state_[4];
+  std::uint64_t bit_count_;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_CRYPTO_MD5_H_

@@ -1,0 +1,109 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace catmark {
+
+namespace {
+std::uint32_t RotL(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+void Sha1::Reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+  state_[4] = 0xc3d2e1f0;
+  bit_count_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::Transform(const std::uint8_t block[64]) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = RotL(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    const std::uint32_t tmp = RotL(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = RotL(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::Update(const std::uint8_t* data, std::size_t len) {
+  bit_count_ += static_cast<std::uint64_t>(len) * 8;
+  while (len > 0) {
+    const std::size_t take =
+        len < (64 - buffer_len_) ? len : (64 - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      Transform(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+}
+
+Digest Sha1::Finish() {
+  const std::uint64_t bit_count = bit_count_;
+  const std::uint8_t pad = 0x80;
+  Update(&pad, 1);
+  const std::uint8_t zero = 0;
+  while (buffer_len_ != 56) Update(&zero, 1);
+
+  // Length in bits, big-endian.
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_count >> (8 * (7 - i)));
+  }
+  Transform(buffer_);
+
+  Digest out;
+  out.size = 20;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      out.bytes[static_cast<std::size_t>(4 * i + j)] =
+          static_cast<std::uint8_t>(state_[i] >> (8 * (3 - j)));
+    }
+  }
+  Reset();
+  return out;
+}
+
+}  // namespace catmark

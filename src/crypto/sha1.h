@@ -1,0 +1,34 @@
+#ifndef CATMARK_CRYPTO_SHA1_H_
+#define CATMARK_CRYPTO_SHA1_H_
+
+#include <cstdint>
+
+#include "crypto/hash.h"
+
+namespace catmark {
+
+/// SHA-1 (FIPS 180-1). 160-bit output. Provided because the paper names SHA
+/// as a crypto_hash() candidate; prefer SHA-256 for new uses.
+class Sha1 final : public HashFunction {
+ public:
+  Sha1() { Reset(); }
+
+  std::string_view Name() const override { return "SHA-1"; }
+  std::size_t DigestSize() const override { return 20; }
+
+  void Reset() override;
+  void Update(const std::uint8_t* data, std::size_t len) override;
+  Digest Finish() override;
+
+ private:
+  void Transform(const std::uint8_t block[64]);
+
+  std::uint32_t state_[5];
+  std::uint64_t bit_count_;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_CRYPTO_SHA1_H_

@@ -1,0 +1,33 @@
+#ifndef CATMARK_CRYPTO_SHA256_H_
+#define CATMARK_CRYPTO_SHA256_H_
+
+#include <cstdint>
+
+#include "crypto/hash.h"
+
+namespace catmark {
+
+/// SHA-256 (FIPS 180-2). 256-bit output; the library's default crypto_hash().
+class Sha256 final : public HashFunction {
+ public:
+  Sha256() { Reset(); }
+
+  std::string_view Name() const override { return "SHA-256"; }
+  std::size_t DigestSize() const override { return 32; }
+
+  void Reset() override;
+  void Update(const std::uint8_t* data, std::size_t len) override;
+  Digest Finish() override;
+
+ private:
+  void Transform(const std::uint8_t block[64]);
+
+  std::uint32_t state_[8];
+  std::uint64_t bit_count_;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_CRYPTO_SHA256_H_

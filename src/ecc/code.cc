@@ -1,0 +1,38 @@
+#include "ecc/code.h"
+
+#include "ecc/hamming.h"
+#include "ecc/identity.h"
+#include "ecc/majority.h"
+#include "ecc/repetition.h"
+
+namespace catmark {
+
+std::string_view EccKindName(EccKind kind) {
+  switch (kind) {
+    case EccKind::kMajorityVoting:
+      return "majority-voting";
+    case EccKind::kIdentity:
+      return "identity";
+    case EccKind::kBlockRepetition:
+      return "block-repetition";
+    case EccKind::kHamming74:
+      return "hamming74";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ErrorCorrectingCode> CreateEcc(EccKind kind) {
+  switch (kind) {
+    case EccKind::kMajorityVoting:
+      return std::make_unique<MajorityVotingCode>();
+    case EccKind::kIdentity:
+      return std::make_unique<IdentityCode>();
+    case EccKind::kBlockRepetition:
+      return std::make_unique<BlockRepetitionCode>();
+    case EccKind::kHamming74:
+      return std::make_unique<Hamming74Code>();
+  }
+  return nullptr;
+}
+
+}  // namespace catmark

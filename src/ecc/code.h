@@ -1,0 +1,72 @@
+#ifndef CATMARK_ECC_CODE_H_
+#define CATMARK_ECC_CODE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/bitvec.h"
+#include "common/result.h"
+
+namespace catmark {
+
+/// Payload recovered by the detector: the raw wm_data bits plus a presence
+/// mask marking which positions at least one surviving fit tuple voted for.
+/// Positions never voted for (data loss, A1) are *erasures*, not zeros; the
+/// decoders below exclude them, which is what makes Figure 7's graceful
+/// degradation under 80% data loss possible.
+struct ExtractedPayload {
+  BitVector bits;
+  BitVector present;
+
+  ExtractedPayload() = default;
+  explicit ExtractedPayload(std::size_t len) : bits(len), present(len) {}
+};
+
+/// Error correcting code interface (Section 3.2.1): Encode expands a
+/// |wm|-bit watermark into a redundant payload wm_data of a chosen length
+/// (the available bandwidth N/e); Decode maps a potentially damaged payload
+/// back to the most likely watermark.
+class ErrorCorrectingCode {
+ public:
+  virtual ~ErrorCorrectingCode() = default;
+
+  virtual std::string_view Name() const = 0;
+
+  /// Smallest payload length able to carry a `wm_len`-bit watermark.
+  virtual std::size_t MinPayloadLength(std::size_t wm_len) const = 0;
+
+  /// wm_data = ECC.encode(wm, payload_len). Fails when payload_len <
+  /// MinPayloadLength(wm.size()) — "lack of bandwidth" (Section 2.4).
+  virtual Result<BitVector> Encode(const BitVector& wm,
+                                   std::size_t payload_len) const = 0;
+
+  /// wm = ECC.decode(wm_data, |wm|); `payload.present` marks erasures.
+  virtual Result<BitVector> Decode(const ExtractedPayload& payload,
+                                   std::size_t wm_len) const = 0;
+
+  /// Optional per-bit decode confidence in [0,1] (majority margin /
+  /// total votes for that bit; 0 for fully erased bits). Codes without a
+  /// natural confidence notion return an empty vector.
+  virtual std::vector<double> DecodeConfidence(
+      const ExtractedPayload& /*payload*/, std::size_t /*wm_len*/) const {
+    return {};
+  }
+};
+
+/// Available code families; kMajorityVoting is the paper's implementation
+/// choice, the others exist for the ECC ablation bench.
+enum class EccKind {
+  kMajorityVoting,    ///< wm_data[i] = wm[i mod |wm|]; positionwise majority.
+  kIdentity,          ///< no redundancy; payload carries wm once.
+  kBlockRepetition,   ///< contiguous blocks of repeated bits.
+  kHamming74,         ///< Hamming(7,4) codewords, repeated to fill bandwidth.
+};
+
+std::string_view EccKindName(EccKind kind);
+
+/// Factory for a code instance.
+std::unique_ptr<ErrorCorrectingCode> CreateEcc(EccKind kind);
+
+}  // namespace catmark
+
+#endif  // CATMARK_ECC_CODE_H_

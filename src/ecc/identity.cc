@@ -1,0 +1,29 @@
+#include "ecc/identity.h"
+
+namespace catmark {
+
+Result<BitVector> IdentityCode::Encode(const BitVector& wm,
+                                       std::size_t payload_len) const {
+  if (wm.empty()) return Status::InvalidArgument("empty watermark");
+  if (payload_len < wm.size()) {
+    return Status::InvalidArgument("payload shorter than watermark");
+  }
+  BitVector out(payload_len);
+  for (std::size_t i = 0; i < wm.size(); ++i) out.Set(i, wm.Get(i));
+  return out;
+}
+
+Result<BitVector> IdentityCode::Decode(const ExtractedPayload& payload,
+                                       std::size_t wm_len) const {
+  if (wm_len == 0) return Status::InvalidArgument("wm_len must be > 0");
+  if (payload.bits.size() < wm_len) {
+    return Status::InvalidArgument("payload shorter than watermark");
+  }
+  BitVector wm(wm_len);
+  for (std::size_t i = 0; i < wm_len; ++i) {
+    wm.Set(i, payload.present.Get(i) ? payload.bits.Get(i) : 0);
+  }
+  return wm;
+}
+
+}  // namespace catmark

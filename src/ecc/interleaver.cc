@@ -1,0 +1,54 @@
+#include "ecc/interleaver.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace catmark {
+
+InterleavedCode::InterleavedCode(std::unique_ptr<ErrorCorrectingCode> inner,
+                                 SecretKey key)
+    : inner_(std::move(inner)), key_(std::move(key)) {
+  CATMARK_CHECK(inner_ != nullptr);
+}
+
+std::vector<std::size_t> InterleavedCode::Permutation(std::size_t n) const {
+  const KeyedHasher hasher(key_);
+  Xoshiro256ss rng(hasher.Hash64(std::string_view("interleave")));
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  Shuffle(perm, rng);
+  return perm;
+}
+
+Result<BitVector> InterleavedCode::Encode(const BitVector& wm,
+                                          std::size_t payload_len) const {
+  Result<BitVector> inner = inner_->Encode(wm, payload_len);
+  if (!inner.ok()) return inner.status();
+  const std::vector<std::size_t> perm = Permutation(payload_len);
+  BitVector out(payload_len);
+  // Position i of the inner payload lands at perm[i].
+  for (std::size_t i = 0; i < payload_len; ++i) {
+    out.Set(perm[i], inner.value().Get(i));
+  }
+  return out;
+}
+
+Result<BitVector> InterleavedCode::Decode(const ExtractedPayload& payload,
+                                          std::size_t wm_len) const {
+  const std::size_t n = payload.bits.size();
+  if (payload.present.size() != n) {
+    return Status::InvalidArgument("bits/present size mismatch");
+  }
+  const std::vector<std::size_t> perm = Permutation(n);
+  ExtractedPayload inner(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inner.bits.Set(i, payload.bits.Get(perm[i]));
+    inner.present.Set(i, payload.present.Get(perm[i]));
+  }
+  return inner_->Decode(inner, wm_len);
+}
+
+}  // namespace catmark

@@ -1,0 +1,63 @@
+#include "ecc/majority.h"
+
+#include <vector>
+
+namespace catmark {
+
+Result<BitVector> MajorityVotingCode::Encode(const BitVector& wm,
+                                             std::size_t payload_len) const {
+  if (wm.empty()) return Status::InvalidArgument("empty watermark");
+  if (payload_len < MinPayloadLength(wm.size())) {
+    return Status::InvalidArgument(
+        "payload length " + std::to_string(payload_len) +
+        " below watermark length " + std::to_string(wm.size()) +
+        " (insufficient bandwidth)");
+  }
+  BitVector out(payload_len);
+  for (std::size_t i = 0; i < payload_len; ++i) {
+    out.Set(i, wm.Get(i % wm.size()));
+  }
+  return out;
+}
+
+std::vector<double> MajorityVotingCode::DecodeConfidence(
+    const ExtractedPayload& payload, std::size_t wm_len) const {
+  if (wm_len == 0 || payload.bits.size() != payload.present.size()) {
+    return {};
+  }
+  std::vector<long> margin(wm_len, 0);
+  std::vector<long> total(wm_len, 0);
+  for (std::size_t i = 0; i < payload.bits.size(); ++i) {
+    if (!payload.present.Get(i)) continue;
+    margin[i % wm_len] += payload.bits.Get(i) ? 1 : -1;
+    ++total[i % wm_len];
+  }
+  std::vector<double> out(wm_len, 0.0);
+  for (std::size_t j = 0; j < wm_len; ++j) {
+    if (total[j] > 0) {
+      out[j] = static_cast<double>(std::abs(margin[j])) /
+               static_cast<double>(total[j]);
+    }
+  }
+  return out;
+}
+
+Result<BitVector> MajorityVotingCode::Decode(const ExtractedPayload& payload,
+                                             std::size_t wm_len) const {
+  if (wm_len == 0) return Status::InvalidArgument("wm_len must be > 0");
+  if (payload.bits.size() != payload.present.size()) {
+    return Status::InvalidArgument("bits/present size mismatch");
+  }
+  std::vector<long> votes(wm_len, 0);  // +1 per one-bit, -1 per zero-bit
+  for (std::size_t i = 0; i < payload.bits.size(); ++i) {
+    if (!payload.present.Get(i)) continue;
+    votes[i % wm_len] += payload.bits.Get(i) ? 1 : -1;
+  }
+  BitVector wm(wm_len);
+  for (std::size_t j = 0; j < wm_len; ++j) {
+    wm.Set(j, votes[j] > 0 ? 1 : 0);
+  }
+  return wm;
+}
+
+}  // namespace catmark

@@ -1,0 +1,42 @@
+#include "ecc/repetition.h"
+
+namespace catmark {
+
+// Block j covers payload positions [j * L / m, (j+1) * L / m).
+static std::size_t BlockOf(std::size_t i, std::size_t len, std::size_t m) {
+  std::size_t j = i * m / len;
+  if (j >= m) j = m - 1;
+  return j;
+}
+
+Result<BitVector> BlockRepetitionCode::Encode(const BitVector& wm,
+                                              std::size_t payload_len) const {
+  if (wm.empty()) return Status::InvalidArgument("empty watermark");
+  if (payload_len < wm.size()) {
+    return Status::InvalidArgument("payload shorter than watermark");
+  }
+  BitVector out(payload_len);
+  for (std::size_t i = 0; i < payload_len; ++i) {
+    out.Set(i, wm.Get(BlockOf(i, payload_len, wm.size())));
+  }
+  return out;
+}
+
+Result<BitVector> BlockRepetitionCode::Decode(const ExtractedPayload& payload,
+                                              std::size_t wm_len) const {
+  if (wm_len == 0) return Status::InvalidArgument("wm_len must be > 0");
+  if (payload.bits.size() < wm_len) {
+    return Status::InvalidArgument("payload shorter than watermark");
+  }
+  std::vector<long> votes(wm_len, 0);
+  for (std::size_t i = 0; i < payload.bits.size(); ++i) {
+    if (!payload.present.Get(i)) continue;
+    votes[BlockOf(i, payload.bits.size(), wm_len)] +=
+        payload.bits.Get(i) ? 1 : -1;
+  }
+  BitVector wm(wm_len);
+  for (std::size_t j = 0; j < wm_len; ++j) wm.Set(j, votes[j] > 0 ? 1 : 0);
+  return wm;
+}
+
+}  // namespace catmark

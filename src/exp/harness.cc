@@ -1,0 +1,131 @@
+#include "exp/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "core/detector.h"
+#include "core/keys.h"
+#include "gen/sales_gen.h"
+#include "random/rng.h"
+#include "random/stats.h"
+
+namespace catmark {
+
+namespace {
+
+std::size_t EnvSizeT(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+}  // namespace
+
+ExperimentConfig ExperimentConfig::FromEnv() {
+  ExperimentConfig config;
+  const char* full = std::getenv("CATMARK_FULL");
+  if (full != nullptr && full[0] == '1') {
+    config.num_tuples = 141000;  // the paper's maximum ItemScan sample
+  }
+  config.num_tuples = EnvSizeT("CATMARK_N", config.num_tuples);
+  config.passes = EnvSizeT("CATMARK_PASSES", config.passes);
+  config.domain_size = EnvSizeT("CATMARK_DOMAIN", config.domain_size);
+  return config;
+}
+
+BitVector MakeWatermark(std::size_t bits, std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  return BitVector::FromGenerator(bits, [&] { return rng.Next(); });
+}
+
+TrialOutcome RunAveragedTrial(const ExperimentConfig& config,
+                              const WatermarkParams& params,
+                              const AttackFn& attack) {
+  // One data set per configuration (the paper watermarks the same sample
+  // with 15 different keys to smooth data-dependent biases).
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = config.num_tuples;
+  gen.domain_size = config.domain_size;
+  gen.zipf_s = config.zipf_s;
+  gen.seed = config.base_seed;
+  const Relation original = GenerateKeyedCategorical(gen);
+
+  std::vector<double> alterations;
+  double fill_sum = 0.0;
+  double embed_alteration_sum = 0.0;
+
+  for (std::size_t pass = 0; pass < config.passes; ++pass) {
+    const std::uint64_t pass_seed = config.base_seed + 7919 * (pass + 1);
+    const WatermarkKeySet keys = WatermarkKeySet::FromSeed(pass_seed);
+    const BitVector wm = MakeWatermark(config.wm_bits, pass_seed ^ 0xabcdef);
+
+    Relation marked = original;
+    const Embedder embedder(keys, params);
+    EmbedOptions embed_options;
+    embed_options.key_attr = "K";
+    embed_options.target_attr = "A";
+    Result<EmbedReport> embed_report =
+        embedder.Embed(marked, embed_options, wm);
+    CATMARK_CHECK(embed_report.ok()) << embed_report.status().ToString();
+
+    Result<Relation> attacked = attack(marked, pass_seed ^ 0x5eed);
+    CATMARK_CHECK(attacked.ok()) << attacked.status().ToString();
+
+    const Detector detector(keys, params);
+    DetectOptions detect_options;
+    detect_options.key_attr = "K";
+    detect_options.target_attr = "A";
+    detect_options.payload_length = embed_report.value().payload_length;
+    detect_options.domain = embed_report.value().domain;
+    Result<DetectionResult> detection =
+        detector.Detect(attacked.value(), detect_options, config.wm_bits);
+    CATMARK_CHECK(detection.ok()) << detection.status().ToString();
+
+    const MatchStats match = MatchWatermark(wm, detection.value().wm);
+    alterations.push_back(match.mark_alteration * 100.0);
+    fill_sum += detection.value().payload_fill;
+    embed_alteration_sum += embed_report.value().alteration_fraction * 100.0;
+  }
+
+  const MeanStd ms = ComputeMeanStd(alterations);
+  TrialOutcome outcome;
+  outcome.mean_alteration_pct = ms.mean;
+  outcome.stddev_alteration_pct = ms.stddev;
+  outcome.mean_payload_fill =
+      fill_sum / static_cast<double>(config.passes);
+  outcome.mean_embed_alteration_pct =
+      embed_alteration_sum / static_cast<double>(config.passes);
+  outcome.passes = config.passes;
+  return outcome;
+}
+
+void PrintTableTitle(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void PrintTableHeader(const std::vector<std::string>& columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%-18s", i == 0 ? "" : " ", columns[i].c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%-18s", i == 0 ? "" : " ", "------------------");
+  }
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%-18s", i == 0 ? "" : " ", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace catmark

@@ -1,0 +1,69 @@
+#ifndef CATMARK_EXP_HARNESS_H_
+#define CATMARK_EXP_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/result.h"
+#include "core/embedder.h"
+#include "core/params.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Shared configuration of the paper-figure experiments (Section 5). The
+/// paper: 10-bit watermark, all data points averaged over 15 passes each
+/// seeded with a different key; samples of the Wal-Mart ItemScan relation.
+/// Section 4.4's worked example uses N = 6000, which matches the figures'
+/// dynamic ranges (see EXPERIMENTS.md), so N defaults to 6000.
+///
+/// Environment overrides: CATMARK_N, CATMARK_PASSES, CATMARK_DOMAIN, and
+/// CATMARK_FULL=1 (N=141000 — the paper's maximum sample size).
+struct ExperimentConfig {
+  std::size_t num_tuples = 6000;
+  std::size_t domain_size = 1000;
+  double zipf_s = 1.0;
+  std::size_t wm_bits = 10;
+  std::size_t passes = 15;
+  std::uint64_t base_seed = 20040301;  // ICDE 2004, March
+
+  static ExperimentConfig FromEnv();
+};
+
+/// An attack to run between embed and detect: (marked relation, seed) ->
+/// attacked relation.
+using AttackFn =
+    std::function<Result<Relation>(const Relation&, std::uint64_t)>;
+
+/// Mean/stddev over passes of the watermark alteration (in %), plus channel
+/// diagnostics.
+struct TrialOutcome {
+  double mean_alteration_pct = 0.0;   ///< the figures' y-axis
+  double stddev_alteration_pct = 0.0;
+  double mean_payload_fill = 0.0;     ///< fraction of wm_data positions seen
+  double mean_embed_alteration_pct = 0.0;  ///< data altered by embedding (%)
+  std::size_t passes = 0;
+};
+
+/// Runs `passes` embed -> attack -> detect cycles on the standard keyed
+/// categorical relation, a fresh key set and watermark per pass, and
+/// averages the mark alteration — the protocol behind Figures 4-7.
+TrialOutcome RunAveragedTrial(const ExperimentConfig& config,
+                              const WatermarkParams& params,
+                              const AttackFn& attack);
+
+/// Deterministic pseudo-random watermark for pass `pass`.
+BitVector MakeWatermark(std::size_t bits, std::uint64_t seed);
+
+/// Plain-text table helpers so every bench prints uniform, diffable output.
+void PrintTableTitle(const std::string& title);
+void PrintTableHeader(const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace catmark
+
+#endif  // CATMARK_EXP_HARNESS_H_

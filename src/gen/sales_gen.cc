@@ -1,0 +1,150 @@
+#include "gen/sales_gen.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace catmark {
+
+namespace {
+
+constexpr const char* kDepartmentNames[] = {
+    "GROCERY",   "DAIRY",       "PRODUCE",    "MEAT",       "BAKERY",
+    "FROZEN",    "PHARMACY",    "ELECTRONICS", "TOYS",      "APPAREL",
+    "HARDWARE",  "AUTOMOTIVE",  "GARDEN",     "SPORTING",   "STATIONERY",
+    "JEWELRY",   "FURNITURE",   "COSMETICS",  "PETS",       "SEASONAL"};
+
+/// `count` distinct random integers in [low, high); sorted output.
+std::vector<std::int64_t> DistinctInts(std::size_t count, std::int64_t low,
+                                       std::int64_t high, Xoshiro256ss& rng) {
+  CATMARK_CHECK_GT(high, low);
+  CATMARK_CHECK_GE(static_cast<std::uint64_t>(high - low), count);
+  std::unordered_set<std::int64_t> seen;
+  std::vector<std::int64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const std::int64_t v =
+        low + static_cast<std::int64_t>(
+                  rng.NextBounded(static_cast<std::uint64_t>(high - low)));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+/// Zipf weights assigned to domain positions in shuffled order, so that the
+/// popularity rank does not correlate with the sorted index.
+DiscreteDistribution ShuffledZipf(std::size_t n, double s,
+                                  Xoshiro256ss& rng) {
+  const ZipfDistribution zipf(n, s);
+  std::vector<double> weights(n);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  Shuffle(order, rng);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    weights[order[rank]] = zipf.Pmf(rank);
+  }
+  return DiscreteDistribution(weights);
+}
+
+}  // namespace
+
+Relation GenerateItemScan(const SalesGenConfig& config) {
+  CATMARK_CHECK_GE(config.num_items, 2u);
+  CATMARK_CHECK_GE(config.num_stores, 1u);
+  CATMARK_CHECK_GE(config.num_departments, 1u);
+  Xoshiro256ss rng(config.seed);
+
+  Result<Schema> schema = Schema::Create(
+      {{"Visit_Nbr", ColumnType::kInt64, false},
+       {"Item_Nbr", ColumnType::kInt64, true},
+       {"Store_Nbr", ColumnType::kInt64, true},
+       {"Dept_Desc", ColumnType::kString, true},
+       {"Unit_Qty", ColumnType::kInt64, false},
+       {"Sale_Amount", ColumnType::kDouble, false}},
+      "Visit_Nbr");
+  CATMARK_CHECK(schema.ok());
+
+  // Product codes: 6-7 digit distinct integers, realistic Item_Nbr shapes.
+  const std::vector<std::int64_t> item_codes =
+      DistinctInts(config.num_items, 100000, 10000000, rng);
+  const DiscreteDistribution item_dist =
+      ShuffledZipf(config.num_items, config.item_zipf_s, rng);
+
+  // Store popularity mildly skewed.
+  const DiscreteDistribution store_dist =
+      ShuffledZipf(config.num_stores, 0.5, rng);
+
+  const std::size_t dept_count =
+      std::min(config.num_departments,
+               sizeof(kDepartmentNames) / sizeof(kDepartmentNames[0]));
+  const DiscreteDistribution dept_dist = ShuffledZipf(dept_count, 0.8, rng);
+
+  std::vector<std::int64_t> visit_numbers;
+  if (config.sparse_visit_numbers) {
+    visit_numbers = DistinctInts(config.num_tuples, 1, 1LL << 40, rng);
+    Shuffle(visit_numbers, rng);
+  } else {
+    visit_numbers.resize(config.num_tuples);
+    for (std::size_t i = 0; i < config.num_tuples; ++i) {
+      visit_numbers[i] = static_cast<std::int64_t>(i + 1);
+    }
+  }
+
+  Relation rel(std::move(schema).value());
+  rel.Reserve(config.num_tuples);
+  for (std::size_t i = 0; i < config.num_tuples; ++i) {
+    const std::size_t item = item_dist.Sample(rng);
+    const std::size_t store = store_dist.Sample(rng);
+    const std::size_t dept = dept_dist.Sample(rng);
+    const std::int64_t qty = 1 + static_cast<std::int64_t>(rng.NextBounded(9));
+    const double amount =
+        static_cast<double>(rng.NextBounded(10000)) / 100.0 + 0.99;
+    rel.AppendRowUnchecked(
+        {Value(visit_numbers[i]), Value(item_codes[item]),
+         Value(static_cast<std::int64_t>(store + 1)),
+         Value(std::string(kDepartmentNames[dept])), Value(qty),
+         Value(amount)});
+  }
+  return rel;
+}
+
+Relation GenerateKeyedCategorical(const KeyedCategoricalConfig& config) {
+  CATMARK_CHECK_GE(config.domain_size, 2u);
+  Xoshiro256ss rng(config.seed);
+
+  Result<Schema> schema = Schema::Create(
+      {{"K", ColumnType::kInt64, false}, {"A", ColumnType::kString, true}},
+      "K");
+  CATMARK_CHECK(schema.ok());
+
+  // Domain labels "V0000".."Vnnnn" (zero-padded so byte order == rank order).
+  int digits = 1;
+  for (std::size_t v = config.domain_size; v >= 10; v /= 10) ++digits;
+  std::vector<std::string> labels(config.domain_size);
+  for (std::size_t i = 0; i < config.domain_size; ++i) {
+    std::string num = std::to_string(i);
+    labels[i] =
+        "V" + std::string(static_cast<std::size_t>(digits) - num.size(), '0') +
+        num;
+  }
+
+  const DiscreteDistribution dist =
+      ShuffledZipf(config.domain_size, config.zipf_s, rng);
+
+  std::vector<std::int64_t> keys =
+      DistinctInts(config.num_tuples, 1, 1LL << 40, rng);
+
+  Relation rel(std::move(schema).value());
+  rel.Reserve(config.num_tuples);
+  for (std::size_t i = 0; i < config.num_tuples; ++i) {
+    rel.AppendRowUnchecked(
+        {Value(keys[i]), Value(labels[dist.Sample(rng)])});
+  }
+  return rel;
+}
+
+}  // namespace catmark

@@ -1,0 +1,59 @@
+#include "quality/assessor.h"
+
+#include "common/check.h"
+
+namespace catmark {
+
+void QualityAssessor::AddPlugin(std::unique_ptr<UsabilityMetricPlugin> plugin) {
+  CATMARK_CHECK(plugin != nullptr);
+  plugins_.push_back(std::move(plugin));
+}
+
+Status QualityAssessor::Begin(const Relation& relation) {
+  log_.Clear();
+  vetoed_ = 0;
+  for (auto& p : plugins_) {
+    CATMARK_RETURN_IF_ERROR(p->Begin(relation));
+  }
+  return Status::OK();
+}
+
+Status QualityAssessor::ProposeAlteration(Relation& relation, std::size_t row,
+                                          std::size_t col, Value new_value) {
+  AlterationEvent event;
+  event.row = row;
+  event.col = col;
+  event.old_value = relation.Get(row, col);
+  event.new_value = std::move(new_value);
+
+  CATMARK_RETURN_IF_ERROR(relation.Set(row, col, event.new_value));
+
+  for (std::size_t i = 0; i < plugins_.size(); ++i) {
+    const Status s = plugins_[i]->OnAlteration(relation, event);
+    if (!s.ok()) {
+      // Veto: unwind the plugins that already accounted for the change,
+      // then restore the cell.
+      for (std::size_t j = i; j-- > 0;) {
+        plugins_[j]->OnRollback(relation, event);
+      }
+      const Status undo = relation.Set(row, col, event.old_value);
+      CATMARK_CHECK(undo.ok()) << "rollback Set failed: " << undo.ToString();
+      ++vetoed_;
+      return s;
+    }
+  }
+  log_.Record(std::move(event));
+  return Status::OK();
+}
+
+Status QualityAssessor::RollbackAll(Relation& relation) {
+  // Plugins see rollbacks most recent first, mirroring application order.
+  for (std::size_t i = log_.size(); i-- > 0;) {
+    const AlterationEvent event = log_.entry(i);
+    CATMARK_RETURN_IF_ERROR(log_.UndoLast(relation));
+    for (auto& p : plugins_) p->OnRollback(relation, event);
+  }
+  return Status::OK();
+}
+
+}  // namespace catmark

@@ -1,0 +1,60 @@
+#ifndef CATMARK_QUALITY_ASSESSOR_H_
+#define CATMARK_QUALITY_ASSESSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "quality/constraint.h"
+#include "quality/rollback.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// On-the-fly data quality assessment (Section 4.1 / Figure 3): the
+/// "usability metrics plugin handler". The embedder offers every intended
+/// alteration through ProposeAlteration; plugins evaluate it against their
+/// constraints and any veto rolls the single alteration back via the
+/// rollback log. Accepted alterations stay in the log so a whole pass can
+/// still be undone.
+class QualityAssessor {
+ public:
+  QualityAssessor() = default;
+
+  QualityAssessor(const QualityAssessor&) = delete;
+  QualityAssessor& operator=(const QualityAssessor&) = delete;
+
+  /// Registers a plugin (before Begin).
+  void AddPlugin(std::unique_ptr<UsabilityMetricPlugin> plugin);
+
+  std::size_t num_plugins() const { return plugins_.size(); }
+
+  /// Captures baselines on the pristine relation; resets the log.
+  Status Begin(const Relation& relation);
+
+  /// Applies row/col := new_value, then evaluates all plugins. On any veto
+  /// the cell is restored, earlier plugins are notified via OnRollback, and
+  /// the veto status is returned (the caller skips this bit — the ECC
+  /// absorbs the loss). On success the alteration is recorded in the log.
+  Status ProposeAlteration(Relation& relation, std::size_t row,
+                           std::size_t col, Value new_value);
+
+  /// Undoes every accepted alteration of this pass (most recent first).
+  Status RollbackAll(Relation& relation);
+
+  const RollbackLog& log() const { return log_; }
+
+  /// Alterations vetoed since Begin().
+  std::size_t vetoed_count() const { return vetoed_; }
+
+  /// Alterations accepted since Begin().
+  std::size_t accepted_count() const { return log_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<UsabilityMetricPlugin>> plugins_;
+  RollbackLog log_;
+  std::size_t vetoed_ = 0;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_QUALITY_ASSESSOR_H_

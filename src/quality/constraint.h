@@ -1,0 +1,50 @@
+#ifndef CATMARK_QUALITY_CONSTRAINT_H_
+#define CATMARK_QUALITY_CONSTRAINT_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/status.h"
+#include "relation/relation.h"
+#include "relation/value.h"
+
+namespace catmark {
+
+/// One cell alteration, as offered to usability-metric plugins and recorded
+/// in the rollback log.
+struct AlterationEvent {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  Value old_value;
+  Value new_value;
+};
+
+/// A "usability metric plugin" (Figure 3): expresses one property of the
+/// database that must be preserved as a constraint on allowable change.
+/// The embedding loop re-evaluates the constraint for *every* alteration;
+/// a veto (non-OK status, conventionally ConstraintViolation) rolls the
+/// alteration back.
+class UsabilityMetricPlugin {
+ public:
+  virtual ~UsabilityMetricPlugin() = default;
+
+  virtual std::string_view Name() const = 0;
+
+  /// Called once with the pristine relation before embedding starts;
+  /// captures baselines.
+  virtual Status Begin(const Relation& relation) = 0;
+
+  /// Called after `event` has been applied to `relation`. Non-OK return
+  /// vetoes the alteration; OnRollback will follow.
+  virtual Status OnAlteration(const Relation& relation,
+                              const AlterationEvent& event) = 0;
+
+  /// Called when a previously accepted (by this plugin) alteration is being
+  /// undone — revert any internal accounting.
+  virtual void OnRollback(const Relation& relation,
+                          const AlterationEvent& event) = 0;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_QUALITY_CONSTRAINT_H_

@@ -1,0 +1,342 @@
+#include "quality/constraint_lang.h"
+
+#include <cctype>
+#include <memory>
+#include <vector>
+
+#include "quality/plugins.h"
+#include "quality/query_plugins.h"
+
+namespace catmark {
+
+namespace {
+
+enum class TokenKind { kWord, kString, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // word (upper-cased) / string body / symbol
+  std::string raw;      // original spelling (for identifiers)
+  double number = 0.0;
+  bool percent = false; // number followed by '%'
+  std::size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '-' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '-') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '\'') {
+        CATMARK_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        out.push_back(LexNumber());
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexWord());
+        continue;
+      }
+      if (c == ';' || c == '(' || c == ')' || c == ',' || c == '=') {
+        Token t;
+        t.kind = TokenKind::kSymbol;
+        t.text = std::string(1, c);
+        t.line = line_;
+        out.push_back(std::move(t));
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument("constraint language: unexpected '" +
+                                     std::string(1, c) + "' on line " +
+                                     std::to_string(line_));
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.line = line_;
+    out.push_back(std::move(end));
+    return out;
+  }
+
+ private:
+  Result<Token> LexString() {
+    Token t;
+    t.kind = TokenKind::kString;
+    t.line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      t.text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) {
+      return Status::InvalidArgument(
+          "constraint language: unterminated string on line " +
+          std::to_string(line_));
+    }
+    ++pos_;  // closing quote
+    return t;
+  }
+
+  Token LexNumber() {
+    Token t;
+    t.kind = TokenKind::kNumber;
+    t.line = line_;
+    std::string num;
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '.')) {
+      num.push_back(src_[pos_]);
+      ++pos_;
+    }
+    t.number = std::strtod(num.c_str(), nullptr);
+    t.text = num;
+    if (pos_ < src_.size() && src_[pos_] == '%') {
+      t.percent = true;
+      ++pos_;
+    }
+    return t;
+  }
+
+  Token LexWord() {
+    Token t;
+    t.kind = TokenKind::kWord;
+    t.line = line_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_')) {
+      t.raw.push_back(src_[pos_]);
+      ++pos_;
+    }
+    for (char c : t.raw) {
+      t.text.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Schema& schema,
+         QualityAssessor& assessor)
+      : tokens_(std::move(tokens)), schema_(schema), assessor_(assessor) {}
+
+  Result<std::size_t> Parse() {
+    std::size_t compiled = 0;
+    while (Peek().kind != TokenKind::kEnd) {
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == ";") {
+        ++pos_;  // stray separator
+        continue;
+      }
+      CATMARK_RETURN_IF_ERROR(ParseStatement());
+      ++compiled;
+    }
+    return compiled;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("constraint language: " + what +
+                                   " on line " + std::to_string(Peek().line));
+  }
+
+  Status ExpectWord(std::string_view word) {
+    if (Peek().kind != TokenKind::kWord || Peek().text != word) {
+      return Error("expected '" + std::string(word) + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(char c) {
+    if (Peek().kind != TokenKind::kSymbol || Peek().text[0] != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<double> ParseNumber() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected a number");
+    }
+    const Token& t = Next();
+    return t.percent ? t.number / 100.0 : t.number;
+  }
+
+  Result<std::string> ParseColumn() {
+    if (Peek().kind != TokenKind::kWord) {
+      return Error("expected a column name");
+    }
+    const Token& t = Next();
+    if (schema_.ColumnIndex(t.raw) < 0) {
+      return Status::InvalidArgument("constraint language: unknown column '" +
+                                     t.raw + "' on line " +
+                                     std::to_string(t.line));
+    }
+    return t.raw;
+  }
+
+  /// A literal, parsed into the named column's type.
+  Result<Value> ParseLiteral(const std::string& column) {
+    const std::size_t col =
+        static_cast<std::size_t>(schema_.ColumnIndex(column));
+    const ColumnType type = schema_.column(col).type;
+    if (Peek().kind == TokenKind::kString) {
+      const Token& t = Next();
+      return Value::Parse(t.text, type);
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      const Token& t = Next();
+      return Value::Parse(t.text, type);
+    }
+    return Error("expected a literal ('string' or number)");
+  }
+
+  /// `<column> = <literal>`
+  Result<EqPredicate> ParsePredicate() {
+    EqPredicate pred;
+    CATMARK_ASSIGN_OR_RETURN(pred.column, ParseColumn());
+    CATMARK_RETURN_IF_ERROR(ExpectSymbol('='));
+    CATMARK_ASSIGN_OR_RETURN(pred.value, ParseLiteral(pred.column));
+    return pred;
+  }
+
+  Status ParseStatement() {
+    if (Peek().kind != TokenKind::kWord) {
+      return Error("expected a statement keyword");
+    }
+    const std::string keyword = Next().text;
+    if (keyword == "MAX") return ParseMax();
+    if (keyword == "MIN") return ParseMin();
+    if (keyword == "FORBID") return ParseForbid();
+    if (keyword == "PRESERVE") return ParsePreserve();
+    return Error("unknown statement '" + keyword + "'");
+  }
+
+  Status ParseMax() {
+    if (Peek().kind != TokenKind::kWord) return Error("expected a keyword");
+    const std::string what = Next().text;
+    if (what == "ALTERATIONS") {
+      CATMARK_ASSIGN_OR_RETURN(const double fraction, ParseNumber());
+      CATMARK_RETURN_IF_ERROR(ExpectSymbol(';'));
+      assessor_.AddPlugin(std::make_unique<MaxAlterationsPlugin>(fraction));
+      return Status::OK();
+    }
+    if (what == "DRIFT") {
+      CATMARK_RETURN_IF_ERROR(ExpectWord("ON"));
+      CATMARK_ASSIGN_OR_RETURN(const std::string column, ParseColumn());
+      CATMARK_ASSIGN_OR_RETURN(const double drift, ParseNumber());
+      CATMARK_RETURN_IF_ERROR(ExpectSymbol(';'));
+      assessor_.AddPlugin(
+          std::make_unique<HistogramDriftPlugin>(column, drift));
+      return Status::OK();
+    }
+    return Error("expected ALTERATIONS or DRIFT after MAX");
+  }
+
+  Status ParseMin() {
+    CATMARK_RETURN_IF_ERROR(ExpectWord("COUNT"));
+    CATMARK_RETURN_IF_ERROR(ExpectWord("ON"));
+    CATMARK_ASSIGN_OR_RETURN(const std::string column, ParseColumn());
+    CATMARK_ASSIGN_OR_RETURN(const double count, ParseNumber());
+    CATMARK_RETURN_IF_ERROR(ExpectSymbol(';'));
+    assessor_.AddPlugin(std::make_unique<MinCategoryCountPlugin>(
+        column, static_cast<std::size_t>(count)));
+    return Status::OK();
+  }
+
+  Status ParseForbid() {
+    CATMARK_RETURN_IF_ERROR(ExpectWord("ON"));
+    CATMARK_ASSIGN_OR_RETURN(const std::string column, ParseColumn());
+    CATMARK_RETURN_IF_ERROR(ExpectSymbol('('));
+    std::vector<Value> forbidden;
+    while (true) {
+      CATMARK_ASSIGN_OR_RETURN(Value v, ParseLiteral(column));
+      forbidden.push_back(std::move(v));
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    CATMARK_RETURN_IF_ERROR(ExpectSymbol(')'));
+    CATMARK_RETURN_IF_ERROR(ExpectSymbol(';'));
+    assessor_.AddPlugin(
+        std::make_unique<ForbiddenValuePlugin>(column, std::move(forbidden)));
+    return Status::OK();
+  }
+
+  Status ParsePreserve() {
+    if (Peek().kind != TokenKind::kWord) return Error("expected a keyword");
+    const std::string what = Next().text;
+    if (what == "COUNT") {
+      CATMARK_RETURN_IF_ERROR(ExpectWord("WHERE"));
+      CATMARK_ASSIGN_OR_RETURN(EqPredicate pred, ParsePredicate());
+      CATMARK_RETURN_IF_ERROR(ExpectWord("TOLERANCE"));
+      CATMARK_ASSIGN_OR_RETURN(const double tolerance, ParseNumber());
+      CATMARK_RETURN_IF_ERROR(ExpectSymbol(';'));
+      assessor_.AddPlugin(std::make_unique<QueryPreservationPlugin>(
+          std::move(pred), tolerance));
+      return Status::OK();
+    }
+    if (what == "CONFIDENCE") {
+      CATMARK_RETURN_IF_ERROR(ExpectWord("OF"));
+      CATMARK_ASSIGN_OR_RETURN(EqPredicate target, ParsePredicate());
+      CATMARK_RETURN_IF_ERROR(ExpectWord("GIVEN"));
+      CATMARK_ASSIGN_OR_RETURN(EqPredicate given, ParsePredicate());
+      CATMARK_RETURN_IF_ERROR(ExpectWord("TOLERANCE"));
+      CATMARK_ASSIGN_OR_RETURN(const double tolerance, ParseNumber());
+      CATMARK_RETURN_IF_ERROR(ExpectSymbol(';'));
+      assessor_.AddPlugin(std::make_unique<AssociationRulePlugin>(
+          std::move(target), std::move(given), tolerance));
+      return Status::OK();
+    }
+    return Error("expected COUNT or CONFIDENCE after PRESERVE");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  const Schema& schema_;
+  QualityAssessor& assessor_;
+};
+
+}  // namespace
+
+Result<std::size_t> CompileConstraints(std::string_view source,
+                                       const Schema& schema,
+                                       QualityAssessor& assessor) {
+  Lexer lexer(source);
+  CATMARK_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), schema, assessor);
+  return parser.Parse();
+}
+
+}  // namespace catmark

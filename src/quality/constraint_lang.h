@@ -1,0 +1,49 @@
+#ifndef CATMARK_QUALITY_CONSTRAINT_LANG_H_
+#define CATMARK_QUALITY_CONSTRAINT_LANG_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "quality/assessor.h"
+
+namespace catmark {
+
+/// A small declarative language for data-quality constraints — the "generic
+/// language (possibly subset of SQL) able to naturally express such
+/// constraints and their propagation at embedding time" that the paper's
+/// conclusions propose. Each statement compiles to one usability-metric
+/// plugin registered on a QualityAssessor.
+///
+/// Grammar (case-insensitive keywords; statements end with ';'; `--`
+/// comments run to end of line):
+///
+///   MAX ALTERATIONS <number>[%] ;
+///   MAX DRIFT ON <column> <number>[%] ;
+///   MIN COUNT ON <column> <integer> ;
+///   FORBID ON <column> ( <literal> [, <literal>]* ) ;
+///   PRESERVE COUNT WHERE <column> = <literal> TOLERANCE <number>[%] ;
+///   PRESERVE CONFIDENCE OF <column> = <literal>
+///       GIVEN <column> = <literal> TOLERANCE <number>[%] ;
+///
+/// Literals are single-quoted strings ('GROCERY'), integers (42) or
+/// decimals (3.5). `<number>%` divides by 100.
+///
+/// Example:
+///   -- marking budget and catalogue invariants for the sales feed
+///   MAX ALTERATIONS 2%;
+///   MAX DRIFT ON Item_Nbr 0.05;
+///   MIN COUNT ON Item_Nbr 1;
+///   PRESERVE COUNT WHERE Dept_Desc = 'GROCERY' TOLERANCE 5%;
+///   PRESERVE CONFIDENCE OF Dept_Desc = 'DAIRY'
+///       GIVEN Store_Nbr = 7 TOLERANCE 10%;
+///
+/// Column types are resolved against `schema`: a bare integer literal
+/// compared against a STRING column parses as the string, etc.
+Result<std::size_t> CompileConstraints(std::string_view source,
+                                       const Schema& schema,
+                                       QualityAssessor& assessor);
+
+}  // namespace catmark
+
+#endif  // CATMARK_QUALITY_CONSTRAINT_LANG_H_

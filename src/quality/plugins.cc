@@ -1,0 +1,162 @@
+#include "quality/plugins.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace catmark {
+
+namespace {
+
+/// Resolves a column by name and returns its index, or a Status.
+Result<std::size_t> ResolveColumn(const Relation& relation,
+                                  const std::string& name) {
+  return relation.schema().ColumnIndexOrError(name);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- MaxAlter
+
+Status MaxAlterationsPlugin::Begin(const Relation& relation) {
+  if (max_fraction_ < 0.0 || max_fraction_ > 1.0) {
+    return Status::InvalidArgument("max_fraction must be in [0,1]");
+  }
+  budget_ = static_cast<std::size_t>(
+      std::floor(max_fraction_ * static_cast<double>(relation.NumRows())));
+  accepted_ = 0;
+  return Status::OK();
+}
+
+Status MaxAlterationsPlugin::OnAlteration(const Relation&,
+                                          const AlterationEvent&) {
+  if (accepted_ + 1 > budget_) {
+    return Status::ConstraintViolation(
+        "alteration budget of " + std::to_string(budget_) + " exhausted");
+  }
+  ++accepted_;
+  return Status::OK();
+}
+
+void MaxAlterationsPlugin::OnRollback(const Relation&,
+                                      const AlterationEvent&) {
+  if (accepted_ > 0) --accepted_;
+}
+
+// ---------------------------------------------------------- HistogramDrift
+
+Status HistogramDriftPlugin::Begin(const Relation& relation) {
+  CATMARK_ASSIGN_OR_RETURN(col_index_, ResolveColumn(relation, column_));
+  CATMARK_ASSIGN_OR_RETURN(
+      domain_, CategoricalDomain::FromRelationColumn(relation, col_index_));
+  CATMARK_ASSIGN_OR_RETURN(
+      FrequencyHistogram hist,
+      FrequencyHistogram::Compute(relation, col_index_, domain_));
+  baseline_counts_.assign(domain_.size(), 0);
+  for (std::size_t t = 0; t < domain_.size(); ++t) {
+    baseline_counts_[t] = hist.count(t);
+  }
+  current_counts_ = baseline_counts_;
+  total_ = hist.total();
+  return Status::OK();
+}
+
+double HistogramDriftPlugin::current_drift() const {
+  if (total_ == 0) return 0.0;
+  double d = 0.0;
+  for (std::size_t t = 0; t < baseline_counts_.size(); ++t) {
+    d += std::abs(static_cast<double>(current_counts_[t]) -
+                  static_cast<double>(baseline_counts_[t]));
+  }
+  return d / static_cast<double>(total_);
+}
+
+Status HistogramDriftPlugin::OnAlteration(const Relation&,
+                                          const AlterationEvent& event) {
+  if (event.col != col_index_) return Status::OK();
+  const auto from = domain_.IndexOf(event.old_value);
+  const auto to = domain_.IndexOf(event.new_value);
+  if (from.has_value()) --current_counts_[*from];
+  if (to.has_value()) ++current_counts_[*to];
+  if (current_drift() > max_l1_drift_) {
+    // Restore the tally before vetoing (OnRollback is only called on
+    // plugins that *accepted*).
+    if (from.has_value()) ++current_counts_[*from];
+    if (to.has_value()) --current_counts_[*to];
+    return Status::ConstraintViolation("histogram L1 drift would exceed " +
+                                       std::to_string(max_l1_drift_));
+  }
+  return Status::OK();
+}
+
+void HistogramDriftPlugin::OnRollback(const Relation&,
+                                      const AlterationEvent& event) {
+  if (event.col != col_index_) return;
+  const auto from = domain_.IndexOf(event.old_value);
+  const auto to = domain_.IndexOf(event.new_value);
+  if (from.has_value()) ++current_counts_[*from];
+  if (to.has_value()) --current_counts_[*to];
+}
+
+// ------------------------------------------------------- MinCategoryCount
+
+Status MinCategoryCountPlugin::Begin(const Relation& relation) {
+  CATMARK_ASSIGN_OR_RETURN(col_index_, ResolveColumn(relation, column_));
+  CATMARK_ASSIGN_OR_RETURN(
+      domain_, CategoricalDomain::FromRelationColumn(relation, col_index_));
+  CATMARK_ASSIGN_OR_RETURN(
+      FrequencyHistogram hist,
+      FrequencyHistogram::Compute(relation, col_index_, domain_));
+  counts_.assign(domain_.size(), 0);
+  for (std::size_t t = 0; t < domain_.size(); ++t) counts_[t] = hist.count(t);
+  return Status::OK();
+}
+
+Status MinCategoryCountPlugin::OnAlteration(const Relation&,
+                                            const AlterationEvent& event) {
+  if (event.col != col_index_) return Status::OK();
+  const auto from = domain_.IndexOf(event.old_value);
+  const auto to = domain_.IndexOf(event.new_value);
+  if (from.has_value() && counts_[*from] <= min_count_) {
+    return Status::ConstraintViolation(
+        "category '" + event.old_value.ToString() + "' would drop below " +
+        std::to_string(min_count_) + " occurrences");
+  }
+  if (from.has_value()) --counts_[*from];
+  if (to.has_value()) ++counts_[*to];
+  return Status::OK();
+}
+
+void MinCategoryCountPlugin::OnRollback(const Relation&,
+                                        const AlterationEvent& event) {
+  if (event.col != col_index_) return;
+  const auto from = domain_.IndexOf(event.old_value);
+  const auto to = domain_.IndexOf(event.new_value);
+  if (from.has_value()) ++counts_[*from];
+  if (to.has_value()) --counts_[*to];
+}
+
+// --------------------------------------------------------- ForbiddenValue
+
+ForbiddenValuePlugin::ForbiddenValuePlugin(std::string column,
+                                           std::vector<Value> forbidden)
+    : column_(std::move(column)),
+      forbidden_(forbidden.begin(), forbidden.end()) {}
+
+Status ForbiddenValuePlugin::Begin(const Relation& relation) {
+  CATMARK_ASSIGN_OR_RETURN(col_index_, ResolveColumn(relation, column_));
+  return Status::OK();
+}
+
+Status ForbiddenValuePlugin::OnAlteration(const Relation&,
+                                          const AlterationEvent& event) {
+  if (event.col != col_index_) return Status::OK();
+  if (forbidden_.count(event.new_value) > 0) {
+    return Status::ConstraintViolation("value '" +
+                                       event.new_value.ToString() +
+                                       "' is forbidden in " + column_);
+  }
+  return Status::OK();
+}
+
+}  // namespace catmark

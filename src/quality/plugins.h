@@ -1,0 +1,112 @@
+#ifndef CATMARK_QUALITY_PLUGINS_H_
+#define CATMARK_QUALITY_PLUGINS_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "quality/constraint.h"
+#include "relation/domain.h"
+#include "relation/histogram.h"
+
+namespace catmark {
+
+/// Caps the total number of accepted alterations. The paper recommends this
+/// as the baseline constraint every deployment should start from: "a
+/// practical approach would be to begin by specifying an upper bound on the
+/// percentage of allowable data alterations" (Section 4.1, footnote).
+class MaxAlterationsPlugin final : public UsabilityMetricPlugin {
+ public:
+  /// `max_fraction` of the relation's tuples may be altered (0..1).
+  explicit MaxAlterationsPlugin(double max_fraction)
+      : max_fraction_(max_fraction) {}
+
+  std::string_view Name() const override { return "max-alterations"; }
+  Status Begin(const Relation& relation) override;
+  Status OnAlteration(const Relation& relation,
+                      const AlterationEvent& event) override;
+  void OnRollback(const Relation& relation,
+                  const AlterationEvent& event) override;
+
+  std::size_t accepted() const { return accepted_; }
+  std::size_t budget() const { return budget_; }
+
+ private:
+  double max_fraction_;
+  std::size_t budget_ = 0;
+  std::size_t accepted_ = 0;
+};
+
+/// Bounds the L1 drift of a categorical attribute's occurrence-frequency
+/// histogram (mining models trained on value distributions survive).
+class HistogramDriftPlugin final : public UsabilityMetricPlugin {
+ public:
+  HistogramDriftPlugin(std::string column, double max_l1_drift)
+      : column_(std::move(column)), max_l1_drift_(max_l1_drift) {}
+
+  std::string_view Name() const override { return "histogram-drift"; }
+  Status Begin(const Relation& relation) override;
+  Status OnAlteration(const Relation& relation,
+                      const AlterationEvent& event) override;
+  void OnRollback(const Relation& relation,
+                  const AlterationEvent& event) override;
+
+  double current_drift() const;
+
+ private:
+  std::string column_;
+  double max_l1_drift_;
+  std::size_t col_index_ = 0;
+  CategoricalDomain domain_;
+  std::vector<std::size_t> baseline_counts_;
+  std::vector<std::size_t> current_counts_;
+  std::size_t total_ = 0;
+};
+
+/// Refuses to empty out (or nearly empty out) any category: each domain
+/// value of the column must keep at least `min_count` occurrences.
+/// Protects GROUP BY / classification semantics.
+class MinCategoryCountPlugin final : public UsabilityMetricPlugin {
+ public:
+  MinCategoryCountPlugin(std::string column, std::size_t min_count)
+      : column_(std::move(column)), min_count_(min_count) {}
+
+  std::string_view Name() const override { return "min-category-count"; }
+  Status Begin(const Relation& relation) override;
+  Status OnAlteration(const Relation& relation,
+                      const AlterationEvent& event) override;
+  void OnRollback(const Relation& relation,
+                  const AlterationEvent& event) override;
+
+ private:
+  std::string column_;
+  std::size_t min_count_;
+  std::size_t col_index_ = 0;
+  CategoricalDomain domain_;
+  std::vector<std::size_t> counts_;
+};
+
+/// Vetoes alterations that would introduce semantically forbidden values
+/// into a column (e.g. a discontinued product code). Models the "semantic
+/// consistency issues" of Section 2.3/A3.
+class ForbiddenValuePlugin final : public UsabilityMetricPlugin {
+ public:
+  ForbiddenValuePlugin(std::string column, std::vector<Value> forbidden);
+
+  std::string_view Name() const override { return "forbidden-value"; }
+  Status Begin(const Relation& relation) override;
+  Status OnAlteration(const Relation& relation,
+                      const AlterationEvent& event) override;
+  void OnRollback(const Relation& /*relation*/,
+                  const AlterationEvent& /*event*/) override {}
+
+ private:
+  std::string column_;
+  std::set<Value> forbidden_;
+  std::size_t col_index_ = 0;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_QUALITY_PLUGINS_H_

@@ -1,0 +1,125 @@
+#include "quality/query_plugins.h"
+
+#include <cmath>
+
+namespace catmark {
+
+// ------------------------------------------------------ QueryPreservation
+
+Status QueryPreservationPlugin::Begin(const Relation& relation) {
+  CATMARK_ASSIGN_OR_RETURN(
+      col_index_, relation.schema().ColumnIndexOrError(predicate_.column));
+  CATMARK_ASSIGN_OR_RETURN(baseline_, CountWhere(relation, predicate_));
+  current_ = static_cast<long>(baseline_);
+  return Status::OK();
+}
+
+bool QueryPreservationPlugin::Violated() const {
+  const double base =
+      baseline_ > 0 ? static_cast<double>(baseline_) : 1.0;
+  return std::abs(static_cast<double>(current_) -
+                  static_cast<double>(baseline_)) /
+             base >
+         tolerance_;
+}
+
+Status QueryPreservationPlugin::OnAlteration(const Relation&,
+                                             const AlterationEvent& event) {
+  if (event.col != col_index_) return Status::OK();
+  long delta = 0;
+  if (event.old_value == predicate_.value) --delta;
+  if (event.new_value == predicate_.value) ++delta;
+  if (delta == 0) return Status::OK();
+  current_ += delta;
+  if (Violated()) {
+    current_ -= delta;  // veto path: OnRollback is not called on the vetoer
+    return Status::ConstraintViolation(
+        "COUNT WHERE " + predicate_.column + " = " +
+        predicate_.value.ToString() + " would drift beyond tolerance");
+  }
+  return Status::OK();
+}
+
+void QueryPreservationPlugin::OnRollback(const Relation&,
+                                         const AlterationEvent& event) {
+  if (event.col != col_index_) return;
+  if (event.old_value == predicate_.value) ++current_;
+  if (event.new_value == predicate_.value) --current_;
+}
+
+// ------------------------------------------------------- AssociationRule
+
+Status AssociationRulePlugin::Begin(const Relation& relation) {
+  CATMARK_ASSIGN_OR_RETURN(
+      target_col_, relation.schema().ColumnIndexOrError(target_.column));
+  CATMARK_ASSIGN_OR_RETURN(
+      given_col_, relation.schema().ColumnIndexOrError(given_.column));
+  if (target_col_ == given_col_) {
+    return Status::InvalidArgument(
+        "association rule needs two distinct columns");
+  }
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t n_given,
+                           CountWhere(relation, given_));
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t n_both,
+                           CountWhereBoth(relation, target_, given_));
+  n_given_ = static_cast<long>(n_given);
+  n_both_ = static_cast<long>(n_both);
+  baseline_confidence_ =
+      n_given_ == 0 ? 0.0
+                    : static_cast<double>(n_both_) /
+                          static_cast<double>(n_given_);
+  return Status::OK();
+}
+
+double AssociationRulePlugin::current_confidence() const {
+  return n_given_ == 0 ? 0.0
+                       : static_cast<double>(n_both_) /
+                             static_cast<double>(n_given_);
+}
+
+void AssociationRulePlugin::Apply(const Relation& relation,
+                                  const AlterationEvent& event,
+                                  int direction) {
+  // `event` has already been applied to `relation`, so the *other* column
+  // of the row reads its live value in both apply and revert directions.
+  if (event.col == target_col_) {
+    const bool given_holds =
+        relation.Get(event.row, given_col_) == given_.value;
+    if (!given_holds) return;
+    const bool was = event.old_value == target_.value;
+    const bool is = event.new_value == target_.value;
+    n_both_ += direction * ((is ? 1 : 0) - (was ? 1 : 0));
+  } else if (event.col == given_col_) {
+    const bool target_holds =
+        relation.Get(event.row, target_col_) == target_.value;
+    const bool was = event.old_value == given_.value;
+    const bool is = event.new_value == given_.value;
+    const int d = (is ? 1 : 0) - (was ? 1 : 0);
+    n_given_ += direction * d;
+    if (target_holds) n_both_ += direction * d;
+  }
+}
+
+Status AssociationRulePlugin::OnAlteration(const Relation& relation,
+                                           const AlterationEvent& event) {
+  if (event.col != target_col_ && event.col != given_col_) {
+    return Status::OK();
+  }
+  Apply(relation, event, +1);
+  if (std::abs(current_confidence() - baseline_confidence_) > tolerance_) {
+    Apply(relation, event, -1);  // veto: restore the tally ourselves
+    return Status::ConstraintViolation(
+        "rule " + given_.column + "=" + given_.value.ToString() + " -> " +
+        target_.column + "=" + target_.value.ToString() +
+        " confidence would drift beyond tolerance");
+  }
+  return Status::OK();
+}
+
+void AssociationRulePlugin::OnRollback(const Relation& relation,
+                                       const AlterationEvent& event) {
+  if (event.col != target_col_ && event.col != given_col_) return;
+  Apply(relation, event, -1);
+}
+
+}  // namespace catmark

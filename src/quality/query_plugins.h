@@ -1,0 +1,84 @@
+#ifndef CATMARK_QUALITY_QUERY_PLUGINS_H_
+#define CATMARK_QUALITY_QUERY_PLUGINS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "quality/constraint.h"
+#include "relation/query.h"
+
+namespace catmark {
+
+/// Preserves the answer of COUNT(*) WHERE column = value within a relative
+/// tolerance. This realizes the query-preservation view of allowable
+/// alteration the paper cites from Gross-Amblard [5]: the data's utility is
+/// the answers to a known workload, and the watermark must not move them.
+class QueryPreservationPlugin final : public UsabilityMetricPlugin {
+ public:
+  /// |count_now - count_baseline| / max(count_baseline, 1) must stay
+  /// <= relative_tolerance.
+  QueryPreservationPlugin(EqPredicate predicate, double relative_tolerance)
+      : predicate_(std::move(predicate)), tolerance_(relative_tolerance) {}
+
+  std::string_view Name() const override { return "query-preservation"; }
+  Status Begin(const Relation& relation) override;
+  Status OnAlteration(const Relation& relation,
+                      const AlterationEvent& event) override;
+  void OnRollback(const Relation& relation,
+                  const AlterationEvent& event) override;
+
+  std::size_t baseline_count() const { return baseline_; }
+  long current_count() const { return current_; }
+
+ private:
+  bool Violated() const;
+
+  EqPredicate predicate_;
+  double tolerance_;
+  std::size_t col_index_ = 0;
+  std::size_t baseline_ = 0;
+  long current_ = 0;
+};
+
+/// Preserves the confidence of an association rule  given -> target
+/// (P(target.column = target.value | given.column = given.value)) within an
+/// absolute tolerance — the "direct awareness of semantic consistency (e.g.
+/// classification and association rules)" the paper's conclusions call for.
+class AssociationRulePlugin final : public UsabilityMetricPlugin {
+ public:
+  AssociationRulePlugin(EqPredicate target, EqPredicate given,
+                        double confidence_tolerance)
+      : target_(std::move(target)),
+        given_(std::move(given)),
+        tolerance_(confidence_tolerance) {}
+
+  std::string_view Name() const override { return "association-rule"; }
+  Status Begin(const Relation& relation) override;
+  Status OnAlteration(const Relation& relation,
+                      const AlterationEvent& event) override;
+  void OnRollback(const Relation& relation,
+                  const AlterationEvent& event) override;
+
+  double baseline_confidence() const { return baseline_confidence_; }
+  double current_confidence() const;
+
+ private:
+  /// Applies the tally deltas of `event` with sign `direction` (+1 apply,
+  /// -1 revert). Needs the relation to read the *other* column of the
+  /// affected row.
+  void Apply(const Relation& relation, const AlterationEvent& event,
+             int direction);
+
+  EqPredicate target_;
+  EqPredicate given_;
+  double tolerance_;
+  std::size_t target_col_ = 0;
+  std::size_t given_col_ = 0;
+  double baseline_confidence_ = 0.0;
+  long n_given_ = 0;
+  long n_both_ = 0;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_QUALITY_QUERY_PLUGINS_H_

@@ -1,0 +1,22 @@
+#include "quality/rollback.h"
+
+namespace catmark {
+
+Status RollbackLog::UndoLast(Relation& relation) {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition("rollback log is empty");
+  }
+  const AlterationEvent& e = entries_.back();
+  CATMARK_RETURN_IF_ERROR(relation.Set(e.row, e.col, e.old_value));
+  entries_.pop_back();
+  return Status::OK();
+}
+
+Status RollbackLog::UndoAll(Relation& relation) {
+  while (!entries_.empty()) {
+    CATMARK_RETURN_IF_ERROR(UndoLast(relation));
+  }
+  return Status::OK();
+}
+
+}  // namespace catmark

@@ -1,0 +1,39 @@
+#ifndef CATMARK_QUALITY_ROLLBACK_H_
+#define CATMARK_QUALITY_ROLLBACK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "quality/constraint.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Alteration rollback log (Figure 3): records every applied cell change so
+/// that alterations violating quality constraints — or an entire embedding
+/// pass — can be undone.
+class RollbackLog {
+ public:
+  /// Records an applied alteration.
+  void Record(AlterationEvent event) { entries_.push_back(std::move(event)); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const AlterationEvent& entry(std::size_t i) const { return entries_[i]; }
+
+  /// Undoes the most recent alteration on `relation` and drops it from the
+  /// log. Fails when empty.
+  Status UndoLast(Relation& relation);
+
+  /// Undoes everything, most recent first, leaving the log empty.
+  Status UndoAll(Relation& relation);
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<AlterationEvent> entries_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_QUALITY_ROLLBACK_H_

@@ -1,0 +1,18 @@
+#include "random/rng.h"
+
+#include "common/check.h"
+
+namespace catmark {
+
+std::uint64_t Xoshiro256ss::NextBounded(std::uint64_t bound) {
+  CATMARK_CHECK_GE(bound, 1u);
+  // Rejection sampling: draw until the value falls in the largest multiple
+  // of `bound` below 2^64, then reduce.
+  const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+  while (true) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace catmark

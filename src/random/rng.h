@@ -1,0 +1,80 @@
+#ifndef CATMARK_RANDOM_RNG_H_
+#define CATMARK_RANDOM_RNG_H_
+
+#include <cstdint>
+
+namespace catmark {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used to expand a single
+/// user seed into independent stream seeds (and as the seeding stage for
+/// Xoshiro256ss). Reference: Steele, Lea & Flood, "Fast Splittable
+/// Pseudorandom Number Generators".
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — the library's workhorse deterministic PRNG. All
+/// experiment randomness (data generation, attacks, pass keys) flows through
+/// explicitly seeded instances of this class, making every run reproducible.
+class Xoshiro256ss {
+ public:
+  /// Seeds the four state words via SplitMix64(seed).
+  explicit Xoshiro256ss(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t Next() {
+    const std::uint64_t result = RotL(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = RotL(state_[3], 45);
+    return result;
+  }
+
+  /// std::uniform_random_bit_generator interface.
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound), bound >= 1. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t RotL(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_RANDOM_RNG_H_

@@ -1,0 +1,163 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace catmark {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void AppendField(std::string_view field, std::string& out) {
+  if (!NeedsQuoting(field)) {
+    out.append(field);
+    return;
+  }
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+/// Splits one CSV record honoring quotes. `pos` advances past the record's
+/// terminating newline. Returns false at end of input.
+bool NextRecord(std::string_view text, std::size_t& pos,
+                std::vector<std::string>& fields, Status& status) {
+  fields.clear();
+  if (pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field.push_back('"');
+          pos += 2;
+        } else {
+          in_quotes = false;
+          ++pos;
+        }
+      } else {
+        field.push_back(c);
+        ++pos;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++pos;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++pos;
+    } else if (c == '\n' || c == '\r') {
+      // Consume \r\n or \n.
+      ++pos;
+      if (c == '\r' && pos < text.size() && text[pos] == '\n') ++pos;
+      break;
+    } else {
+      field.push_back(c);
+      ++pos;
+    }
+  }
+  if (in_quotes) {
+    status = Status::IoError("CSV: unterminated quoted field");
+    return false;
+  }
+  if (!any) return false;
+  fields.push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Relation& rel) {
+  std::string out;
+  const Schema& schema = rel.schema();
+  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out.push_back(',');
+    AppendField(schema.column(c).name, out);
+  }
+  out.push_back('\n');
+  for (std::size_t r = 0; r < rel.NumRows(); ++r) {
+    for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out.push_back(',');
+      AppendField(rel.Get(r, c).ToString(), out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Relation& rel, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open '" + path + "' for writing");
+  const std::string data = WriteCsvString(rel);
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!f) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<Relation> ReadCsvString(std::string_view text, const Schema& schema) {
+  std::size_t pos = 0;
+  std::vector<std::string> fields;
+  Status status = Status::OK();
+
+  if (!NextRecord(text, pos, fields, status)) {
+    if (!status.ok()) return status;
+    return Status::IoError("CSV: missing header row");
+  }
+  if (fields.size() != schema.num_columns()) {
+    return Status::IoError("CSV: header arity mismatch");
+  }
+  for (std::size_t c = 0; c < fields.size(); ++c) {
+    if (fields[c] != schema.column(c).name) {
+      return Status::IoError("CSV: header column '" + fields[c] +
+                             "' != schema column '" + schema.column(c).name +
+                             "'");
+    }
+  }
+
+  Relation rel(schema);
+  std::size_t line = 1;
+  while (NextRecord(text, pos, fields, status)) {
+    ++line;
+    if (fields.size() != schema.num_columns()) {
+      return Status::IoError("CSV line " + std::to_string(line) +
+                             ": arity mismatch");
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      Result<Value> v = Value::Parse(fields[c], schema.column(c).type);
+      if (!v.ok()) {
+        return Status::IoError("CSV line " + std::to_string(line) + ": " +
+                               v.status().message());
+      }
+      row.push_back(std::move(v).value());
+    }
+    CATMARK_RETURN_IF_ERROR(rel.AppendRow(std::move(row)));
+  }
+  if (!status.ok()) return status;
+  return rel;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path, const Schema& schema) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ReadCsvString(ss.str(), schema);
+}
+
+}  // namespace catmark

@@ -1,0 +1,25 @@
+#ifndef CATMARK_RELATION_CSV_H_
+#define CATMARK_RELATION_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Serializes `rel` as RFC-4180-style CSV (header row, quoting only when a
+/// field contains comma/quote/newline).
+std::string WriteCsvString(const Relation& rel);
+Status WriteCsvFile(const Relation& rel, const std::string& path);
+
+/// Parses CSV text into a relation with the given schema. The header row
+/// must match the schema's column names exactly (and in order); field
+/// values are parsed per the column type, empty fields as NULL.
+Result<Relation> ReadCsvString(std::string_view text, const Schema& schema);
+Result<Relation> ReadCsvFile(const std::string& path, const Schema& schema);
+
+}  // namespace catmark
+
+#endif  // CATMARK_RELATION_CSV_H_

@@ -1,0 +1,64 @@
+#include "relation/domain.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace catmark {
+
+Result<CategoricalDomain> CategoricalDomain::FromValues(
+    std::vector<Value> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("categorical domain must be non-empty");
+  }
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      return Status::InvalidArgument("categorical domain cannot contain NULL");
+    }
+  }
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] == values[i - 1]) {
+      return Status::InvalidArgument("categorical domain values must be "
+                                     "distinct (duplicate: " +
+                                     values[i].ToString() + ")");
+    }
+  }
+  CategoricalDomain d;
+  d.values_ = std::move(values);
+  return d;
+}
+
+Result<CategoricalDomain> CategoricalDomain::FromRelationColumn(
+    const Relation& rel, std::size_t col) {
+  if (col >= rel.schema().num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  std::vector<Value> vals;
+  vals.reserve(rel.NumRows());
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    const Value& v = rel.Get(i, col);
+    if (!v.is_null()) vals.push_back(v);
+  }
+  if (vals.empty()) {
+    return Status::InvalidArgument("column has no non-null values");
+  }
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  CategoricalDomain d;
+  d.values_ = std::move(vals);
+  return d;
+}
+
+const Value& CategoricalDomain::value(std::size_t t) const {
+  CATMARK_CHECK_LT(t, values_.size());
+  return values_[t];
+}
+
+std::optional<std::size_t> CategoricalDomain::IndexOf(const Value& v) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), v);
+  if (it == values_.end() || !(*it == v)) return std::nullopt;
+  return static_cast<std::size_t>(it - values_.begin());
+}
+
+}  // namespace catmark

@@ -1,0 +1,58 @@
+#ifndef CATMARK_RELATION_DOMAIN_H_
+#define CATMARK_RELATION_DOMAIN_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/relation.h"
+#include "relation/value.h"
+
+namespace catmark {
+
+/// The value domain {a_1, ..., a_nA} of a categorical attribute, sorted
+/// ("these are distinct and can be sorted, e.g. by ASCII value" —
+/// Section 2.1). The watermark encodes bits in the least significant bit of
+/// a value's *index* t within this sorted domain, so embedder and detector
+/// must agree on it. The domain is public knowledge (e.g. the set of product
+/// codes); it can be declared up front or recovered from the data itself.
+class CategoricalDomain {
+ public:
+  CategoricalDomain() = default;
+
+  /// Builds a domain from explicit values; duplicates and NULLs rejected.
+  static Result<CategoricalDomain> FromValues(std::vector<Value> values);
+
+  /// Recovers the domain as the sorted distinct non-null values of
+  /// `col` in `rel`.
+  static Result<CategoricalDomain> FromRelationColumn(const Relation& rel,
+                                                      std::size_t col);
+
+  /// nA — number of possible values.
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// a_t — the value at sorted index t.
+  const Value& value(std::size_t t) const;
+
+  /// t such that value(t) == v, or nullopt when v is outside the domain
+  /// (e.g. after an A6 remapping attack). O(log nA).
+  std::optional<std::size_t> IndexOf(const Value& v) const;
+
+  bool Contains(const Value& v) const { return IndexOf(v).has_value(); }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  friend bool operator==(const CategoricalDomain& a,
+                         const CategoricalDomain& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;  // sorted ascending, distinct
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_RELATION_DOMAIN_H_

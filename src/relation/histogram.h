@@ -1,0 +1,63 @@
+#ifndef CATMARK_RELATION_HISTOGRAM_H_
+#define CATMARK_RELATION_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/domain.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// The value occurrence frequency transform [f_A(a_i)] of a categorical
+/// attribute (Section 3.1/4.2): per-domain-value occurrence counts and
+/// normalized (to 1.0) frequencies. This is both an encoding channel
+/// (frequency-domain watermark) and the signature used to invert bijective
+/// remapping attacks (Section 4.5).
+class FrequencyHistogram {
+ public:
+  FrequencyHistogram() = default;
+
+  /// Counts occurrences of each domain value of `col` in `rel`. Values
+  /// outside `domain` (or NULL) are tallied separately as `out_of_domain`.
+  static Result<FrequencyHistogram> Compute(const Relation& rel,
+                                            std::size_t col,
+                                            const CategoricalDomain& domain);
+
+  const CategoricalDomain& domain() const { return domain_; }
+  std::size_t num_values() const { return counts_.size(); }
+
+  /// Occurrence count of domain value index t.
+  std::size_t count(std::size_t t) const;
+
+  /// f_A(a_t): normalized occurrence frequency (0 when the relation is
+  /// empty).
+  double frequency(std::size_t t) const;
+
+  /// Total in-domain occurrences (normalization denominator).
+  std::size_t total() const { return total_; }
+
+  /// Occurrences that did not match any domain value.
+  std::size_t out_of_domain() const { return out_of_domain_; }
+
+  /// Frequencies as a dense vector, index-aligned with the domain.
+  std::vector<double> Frequencies() const;
+
+  /// L1 distance between the two frequency vectors (domains must be equal
+  /// in size). A data-quality plugin caps this during embedding.
+  double L1Distance(const FrequencyHistogram& other) const;
+
+  /// Largest absolute per-value frequency difference.
+  double LInfDistance(const FrequencyHistogram& other) const;
+
+ private:
+  CategoricalDomain domain_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t out_of_domain_ = 0;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_RELATION_HISTOGRAM_H_

@@ -1,0 +1,41 @@
+#include "relation/index.h"
+
+#include <vector>
+
+namespace catmark {
+
+std::string PrimaryKeyIndex::KeyOf(const Value& v) {
+  std::vector<std::uint8_t> bytes;
+  v.SerializeForHash(bytes);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+Result<PrimaryKeyIndex> PrimaryKeyIndex::Build(const Relation& rel) {
+  if (!rel.schema().has_primary_key()) {
+    return Status::FailedPrecondition("schema declares no primary key");
+  }
+  PrimaryKeyIndex index;
+  index.key_column_ =
+      static_cast<std::size_t>(rel.schema().primary_key_index());
+  index.rows_.reserve(rel.NumRows());
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    const Value& key = rel.Get(i, index.key_column_);
+    if (key.is_null()) {
+      return Status::FailedPrecondition("NULL primary key at row " +
+                                        std::to_string(i));
+    }
+    if (!index.rows_.emplace(KeyOf(key), i).second) {
+      return Status::FailedPrecondition("duplicate primary key '" +
+                                        key.ToString() + "'");
+    }
+  }
+  return index;
+}
+
+std::optional<std::size_t> PrimaryKeyIndex::Find(const Value& key) const {
+  const auto it = rows_.find(KeyOf(key));
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace catmark

@@ -1,0 +1,93 @@
+#include "relation/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/distributions.h"
+
+namespace catmark {
+
+Result<Relation> Project(const Relation& rel,
+                         const std::vector<std::string>& columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("projection needs at least one column");
+  }
+  const Schema& schema = rel.schema();
+  std::vector<std::size_t> indices;
+  std::vector<Column> cols;
+  std::string pk;
+  for (const std::string& name : columns) {
+    CATMARK_ASSIGN_OR_RETURN(const std::size_t idx,
+                             schema.ColumnIndexOrError(name));
+    indices.push_back(idx);
+    cols.push_back(schema.column(idx));
+    if (schema.primary_key_index() == static_cast<int>(idx)) pk = name;
+  }
+  CATMARK_ASSIGN_OR_RETURN(Schema out_schema,
+                           Schema::Create(std::move(cols), pk));
+  Relation out(std::move(out_schema));
+  out.Reserve(rel.NumRows());
+  for (std::size_t r = 0; r < rel.NumRows(); ++r) {
+    Row row;
+    row.reserve(indices.size());
+    for (std::size_t idx : indices) row.push_back(rel.Get(r, idx));
+    out.AppendRowUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Result<Relation> SampleRows(const Relation& rel, double fraction,
+                            Xoshiro256ss& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0,1]");
+  }
+  const std::size_t keep = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(rel.NumRows())));
+  Relation out(rel.schema());
+  out.Reserve(keep);
+  for (std::size_t i :
+       SampleWithoutReplacement(rel.NumRows(), keep, rng)) {
+    out.AppendRowUnchecked(rel.row(i));
+  }
+  return out;
+}
+
+Relation ShuffleRows(const Relation& rel, Xoshiro256ss& rng) {
+  std::vector<std::size_t> order(rel.NumRows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Shuffle(order, rng);
+  Relation out(rel.schema());
+  out.Reserve(rel.NumRows());
+  for (std::size_t i : order) out.AppendRowUnchecked(rel.row(i));
+  return out;
+}
+
+Result<Relation> SortByColumn(const Relation& rel, std::size_t col) {
+  if (col >= rel.schema().num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  std::vector<std::size_t> order(rel.NumRows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return Value::Compare(rel.Get(a, col), rel.Get(b, col)) <
+                            0;
+                   });
+  Relation out(rel.schema());
+  out.Reserve(rel.NumRows());
+  for (std::size_t i : order) out.AppendRowUnchecked(rel.row(i));
+  return out;
+}
+
+Status AppendAll(Relation& base, const Relation& extra) {
+  if (!(base.schema() == extra.schema())) {
+    return Status::InvalidArgument("schema mismatch in AppendAll");
+  }
+  base.Reserve(base.NumRows() + extra.NumRows());
+  for (std::size_t i = 0; i < extra.NumRows(); ++i) {
+    base.AppendRowUnchecked(extra.row(i));
+  }
+  return Status::OK();
+}
+
+}  // namespace catmark

@@ -1,0 +1,37 @@
+#ifndef CATMARK_RELATION_OPS_H_
+#define CATMARK_RELATION_OPS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "random/rng.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Vertical partition: keeps only the named columns (in the given order).
+/// The result's primary key is preserved iff it is among the kept columns.
+Result<Relation> Project(const Relation& rel,
+                         const std::vector<std::string>& columns);
+
+/// Horizontal partition: uniform sample keeping ceil(fraction * N) rows.
+Result<Relation> SampleRows(const Relation& rel, double fraction,
+                            Xoshiro256ss& rng);
+
+/// Random re-ordering of the tuples (the A4 attack surface).
+Relation ShuffleRows(const Relation& rel, Xoshiro256ss& rng);
+
+/// Sorts rows ascending by the given column.
+Result<Relation> SortByColumn(const Relation& rel, std::size_t col);
+
+/// Appends all rows of `extra` to `base`. Schemas must match.
+Status AppendAll(Relation& base, const Relation& extra);
+
+/// Deep copy (relations are copyable; this spells intent at call sites).
+inline Relation Clone(const Relation& rel) { return rel; }
+
+}  // namespace catmark
+
+#endif  // CATMARK_RELATION_OPS_H_

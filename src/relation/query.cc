@@ -1,0 +1,47 @@
+#include "relation/query.h"
+
+namespace catmark {
+
+Result<std::size_t> CountWhere(const Relation& rel, const EqPredicate& pred) {
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t col,
+                           rel.schema().ColumnIndexOrError(pred.column));
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    if (rel.Get(i, col) == pred.value) ++count;
+  }
+  return count;
+}
+
+Result<std::size_t> CountWhereBoth(const Relation& rel, const EqPredicate& a,
+                                   const EqPredicate& b) {
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t col_a,
+                           rel.schema().ColumnIndexOrError(a.column));
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t col_b,
+                           rel.schema().ColumnIndexOrError(b.column));
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    if (rel.Get(i, col_a) == a.value && rel.Get(i, col_b) == b.value) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Result<double> RuleConfidence(const Relation& rel, const EqPredicate& target,
+                              const EqPredicate& given) {
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t n_given, CountWhere(rel, given));
+  if (n_given == 0) return 0.0;
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t n_both,
+                           CountWhereBoth(rel, target, given));
+  return static_cast<double>(n_both) / static_cast<double>(n_given);
+}
+
+Result<double> RuleSupport(const Relation& rel, const EqPredicate& target,
+                           const EqPredicate& given) {
+  if (rel.empty()) return 0.0;
+  CATMARK_ASSIGN_OR_RETURN(const std::size_t n_both,
+                           CountWhereBoth(rel, target, given));
+  return static_cast<double>(n_both) / static_cast<double>(rel.NumRows());
+}
+
+}  // namespace catmark

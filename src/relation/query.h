@@ -1,0 +1,40 @@
+#ifndef CATMARK_RELATION_QUERY_H_
+#define CATMARK_RELATION_QUERY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relation/relation.h"
+#include "relation/value.h"
+
+namespace catmark {
+
+/// Minimal query evaluation over relations: equality predicates, COUNT and
+/// conditional-ratio aggregates. These back the query-preservation quality
+/// plugins — the Gross-Amblard [5] view of watermarking, where the utility
+/// to preserve is the answer to a workload of queries.
+struct EqPredicate {
+  std::string column;
+  Value value;
+};
+
+/// COUNT(*) WHERE column = value.
+Result<std::size_t> CountWhere(const Relation& rel, const EqPredicate& pred);
+
+/// COUNT(*) WHERE a = x AND b = y.
+Result<std::size_t> CountWhereBoth(const Relation& rel, const EqPredicate& a,
+                                   const EqPredicate& b);
+
+/// Confidence of the association rule  given -> target :
+/// P(target | given) = count(target AND given) / count(given).
+/// Returns 0 when the antecedent never holds.
+Result<double> RuleConfidence(const Relation& rel, const EqPredicate& target,
+                              const EqPredicate& given);
+
+/// Support of the rule: count(target AND given) / N.
+Result<double> RuleSupport(const Relation& rel, const EqPredicate& target,
+                           const EqPredicate& given);
+
+}  // namespace catmark
+
+#endif  // CATMARK_RELATION_QUERY_H_

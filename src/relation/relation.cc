@@ -1,0 +1,80 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace catmark {
+
+Status Relation::AppendRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && !row[i].MatchesType(schema_.column(i).type)) {
+      return Status::InvalidArgument(
+          "value for column '" + schema_.column(i).name + "' has wrong type");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const Row& Relation::row(std::size_t i) const {
+  CATMARK_CHECK_LT(i, rows_.size());
+  return rows_[i];
+}
+
+Row& Relation::mutable_row(std::size_t i) {
+  CATMARK_CHECK_LT(i, rows_.size());
+  return rows_[i];
+}
+
+const Value& Relation::Get(std::size_t row, std::size_t col) const {
+  CATMARK_CHECK_LT(row, rows_.size());
+  CATMARK_CHECK_LT(col, schema_.num_columns());
+  return rows_[row][col];
+}
+
+Status Relation::Set(std::size_t row, std::size_t col, Value v) {
+  if (row >= rows_.size()) return Status::OutOfRange("row index");
+  if (col >= schema_.num_columns()) return Status::OutOfRange("column index");
+  if (!v.is_null() && !v.MatchesType(schema_.column(col).type)) {
+    return Status::InvalidArgument("value for column '" +
+                                   schema_.column(col).name +
+                                   "' has wrong type");
+  }
+  rows_[row][col] = std::move(v);
+  return Status::OK();
+}
+
+void Relation::SwapRemoveRow(std::size_t i) {
+  CATMARK_CHECK_LT(i, rows_.size());
+  std::swap(rows_[i], rows_.back());
+  rows_.pop_back();
+}
+
+bool Relation::SameContent(const Relation& other) const {
+  if (!(schema_ == other.schema_) || rows_.size() != other.rows_.size()) {
+    return false;
+  }
+  auto key = [](const Row& r) {
+    std::string k;
+    std::vector<std::uint8_t> bytes;
+    for (const Value& v : r) v.SerializeForHash(bytes);
+    k.assign(bytes.begin(), bytes.end());
+    return k;
+  };
+  std::vector<std::string> a, b;
+  a.reserve(rows_.size());
+  b.reserve(rows_.size());
+  for (const Row& r : rows_) a.push_back(key(r));
+  for (const Row& r : other.rows_) b.push_back(key(r));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace catmark

@@ -1,0 +1,59 @@
+#ifndef CATMARK_RELATION_RELATION_H_
+#define CATMARK_RELATION_RELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace catmark {
+
+/// An in-memory relation: a schema plus N tuples (row storage). This is the
+/// object watermarks are embedded into and detected from.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// N — number of tuples.
+  std::size_t NumRows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends a tuple after validating arity and (non-null) types.
+  Status AppendRow(Row row);
+
+  /// Appends without validation — generator/attack hot path; the caller
+  /// guarantees schema conformance.
+  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(std::size_t n) { rows_.reserve(n); }
+
+  const Row& row(std::size_t i) const;
+  Row& mutable_row(std::size_t i);
+
+  /// Cell accessors (bounds-checked).
+  const Value& Get(std::size_t row, std::size_t col) const;
+  Status Set(std::size_t row, std::size_t col, Value v);
+
+  /// Removes the row at `i` by swapping with the last row (O(1); order is
+  /// not semantically meaningful for a relation).
+  void SwapRemoveRow(std::size_t i);
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// True when both relations have equal schemas and equal row *multisets*
+  /// (order-insensitive — Section 2.3 A4 makes order semantically void).
+  bool SameContent(const Relation& other) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_RELATION_RELATION_H_

@@ -1,0 +1,80 @@
+#ifndef CATMARK_RELATION_VALUE_H_
+#define CATMARK_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace catmark {
+
+/// Column data types. Categorical attributes are typically kString (city
+/// names, airline codes) or kInt64 (product numbers such as Item_Nbr);
+/// kDouble exists for non-categorical payload columns.
+enum class ColumnType { kInt64, kDouble, kString };
+
+std::string_view ColumnTypeName(ColumnType type);
+
+/// A single relational value: NULL, 64-bit integer, double, or string.
+/// Values are ordered (strings byte-wise — "sorted e.g. by ASCII value" per
+/// Section 2.1) and canonically serializable so keyed hashes are stable.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(std::int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int64() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  /// Typed accessors; the value must hold that type (checked).
+  std::int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// True when a non-null value matches the given column type.
+  bool MatchesType(ColumnType type) const;
+
+  /// Renders for CSV / display; NULL renders as the empty string.
+  std::string ToString() const;
+
+  /// Parses `text` according to `type`. Empty text parses as NULL.
+  static Result<Value> Parse(std::string_view text, ColumnType type);
+
+  /// Appends a canonical, type-tagged byte serialization used as keyed-hash
+  /// input: tag byte, then big-endian payload (strings appended raw with a
+  /// length prefix). Identical values always serialize identically.
+  void SerializeForHash(std::vector<std::uint8_t>& out) const;
+
+  /// Three-way ordering: NULL < int64 < double < string across types;
+  /// natural ordering within a type (byte-wise for strings).
+  static int Compare(const Value& a, const Value& b);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return Compare(a, b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> data_;
+};
+
+/// A tuple (row) of the relation.
+using Row = std::vector<Value>;
+
+}  // namespace catmark
+
+#endif  // CATMARK_RELATION_VALUE_H_

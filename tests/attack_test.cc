@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/attacks.h"
+#include "gen/sales_gen.h"
+#include "relation/domain.h"
+
+namespace catmark {
+namespace {
+
+Relation SmallRelation() {
+  KeyedCategoricalConfig config;
+  config.num_tuples = 1000;
+  config.domain_size = 20;
+  config.seed = 5;
+  return GenerateKeyedCategorical(config);
+}
+
+// ------------------------------------------------------------ A1 horizontal
+
+TEST(HorizontalPartitionTest, KeepsRequestedFraction) {
+  const Relation rel = SmallRelation();
+  const Relation kept = HorizontalPartitionAttack(rel, 0.3, 1).value();
+  EXPECT_EQ(kept.NumRows(), 300u);
+  EXPECT_TRUE(kept.schema() == rel.schema());
+}
+
+TEST(HorizontalPartitionTest, KeptRowsComeFromOriginal) {
+  const Relation rel = SmallRelation();
+  std::set<std::int64_t> original_keys;
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    original_keys.insert(rel.Get(i, 0).AsInt64());
+  }
+  const Relation kept = HorizontalPartitionAttack(rel, 0.5, 2).value();
+  for (std::size_t i = 0; i < kept.NumRows(); ++i) {
+    EXPECT_TRUE(original_keys.count(kept.Get(i, 0).AsInt64()) > 0);
+  }
+}
+
+TEST(HorizontalPartitionTest, RejectsBadFraction) {
+  EXPECT_FALSE(HorizontalPartitionAttack(SmallRelation(), -0.1, 3).ok());
+  EXPECT_FALSE(HorizontalPartitionAttack(SmallRelation(), 1.1, 3).ok());
+}
+
+TEST(HorizontalPartitionTest, DeterministicPerSeed) {
+  const Relation rel = SmallRelation();
+  EXPECT_TRUE(HorizontalPartitionAttack(rel, 0.4, 7).value().SameContent(
+      HorizontalPartitionAttack(rel, 0.4, 7).value()));
+}
+
+// -------------------------------------------------------------- A2 addition
+
+TEST(SubsetAdditionTest, AddsRequestedFraction) {
+  const Relation rel = SmallRelation();
+  const Relation out = SubsetAdditionAttack(rel, 0.2, 4).value();
+  EXPECT_EQ(out.NumRows(), 1200u);
+}
+
+TEST(SubsetAdditionTest, AddedKeysAreFresh) {
+  const Relation rel = SmallRelation();
+  const Relation out = SubsetAdditionAttack(rel, 0.5, 5).value();
+  std::set<std::int64_t> keys;
+  for (std::size_t i = 0; i < out.NumRows(); ++i) {
+    EXPECT_TRUE(keys.insert(out.Get(i, 0).AsInt64()).second)
+        << "duplicate key after addition attack";
+  }
+}
+
+TEST(SubsetAdditionTest, AddedValuesComeFromExistingDomain) {
+  const Relation rel = SmallRelation();
+  const auto domain = CategoricalDomain::FromRelationColumn(rel, 1).value();
+  const Relation out = SubsetAdditionAttack(rel, 0.3, 6).value();
+  for (std::size_t i = rel.NumRows(); i < out.NumRows(); ++i) {
+    EXPECT_TRUE(domain.Contains(out.Get(i, 1)));
+  }
+}
+
+TEST(SubsetAdditionTest, ZeroAdditionIsIdentity) {
+  const Relation rel = SmallRelation();
+  EXPECT_TRUE(SubsetAdditionAttack(rel, 0.0, 7).value().SameContent(rel));
+}
+
+TEST(SubsetAdditionTest, RejectsNegativeAndEmpty) {
+  EXPECT_FALSE(SubsetAdditionAttack(SmallRelation(), -0.5, 8).ok());
+  Relation empty(SmallRelation().schema());
+  EXPECT_FALSE(SubsetAdditionAttack(empty, 0.1, 8).ok());
+}
+
+// ------------------------------------------------------------ A3 alteration
+
+TEST(SubsetAlterationTest, AltersRequestedFraction) {
+  const Relation rel = SmallRelation();
+  const Relation out =
+      SubsetAlterationAttack(rel, "A", 0.5, 9, AlterationMode::kForceDifferent)
+          .value();
+  ASSERT_EQ(out.NumRows(), rel.NumRows());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    if (!(out.Get(i, 1) == rel.Get(i, 1))) ++changed;
+  }
+  EXPECT_EQ(changed, 500u);
+}
+
+TEST(SubsetAlterationTest, UniformModeMayKeepValue) {
+  const Relation rel = SmallRelation();
+  const Relation out =
+      SubsetAlterationAttack(rel, "A", 1.0, 10, AlterationMode::kUniformRandom)
+          .value();
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    if (!(out.Get(i, 1) == rel.Get(i, 1))) ++changed;
+  }
+  // Uniform redraw keeps the old value with probability ~f(old); far from
+  // all tuples change, but most do.
+  EXPECT_LT(changed, 1000u);
+  EXPECT_GT(changed, 800u);
+}
+
+TEST(SubsetAlterationTest, NewValuesStayInDomain) {
+  const Relation rel = SmallRelation();
+  const auto domain = CategoricalDomain::FromRelationColumn(rel, 1).value();
+  const Relation out = SubsetAlterationAttack(rel, "A", 0.7, 11).value();
+  for (std::size_t i = 0; i < out.NumRows(); ++i) {
+    EXPECT_TRUE(domain.Contains(out.Get(i, 1)));
+  }
+}
+
+TEST(SubsetAlterationTest, KeysUntouched) {
+  const Relation rel = SmallRelation();
+  const Relation out = SubsetAlterationAttack(rel, "A", 1.0, 12).value();
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    EXPECT_EQ(out.Get(i, 0).AsInt64(), rel.Get(i, 0).AsInt64());
+  }
+}
+
+TEST(SubsetAlterationTest, RejectsBadInput) {
+  EXPECT_FALSE(SubsetAlterationAttack(SmallRelation(), "A", 1.5, 13).ok());
+  EXPECT_FALSE(SubsetAlterationAttack(SmallRelation(), "NOPE", 0.5, 13).ok());
+}
+
+// --------------------------------------------------------------- A4 resort
+
+TEST(ResortTest, PermutesButPreservesContent) {
+  const Relation rel = SmallRelation();
+  const Relation out = ResortAttack(rel, 14);
+  EXPECT_TRUE(rel.SameContent(out));
+  bool moved = false;
+  for (std::size_t i = 0; i < rel.NumRows() && !moved; ++i) {
+    if (!(out.Get(i, 0) == rel.Get(i, 0))) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+// ------------------------------------------------------------- A5 vertical
+
+TEST(VerticalPartitionTest, DropsColumns) {
+  const Relation rel = SmallRelation();
+  const Relation out = VerticalPartitionAttack(rel, {"A"}).value();
+  EXPECT_EQ(out.schema().num_columns(), 1u);
+  EXPECT_FALSE(out.schema().has_primary_key());
+  EXPECT_EQ(out.NumRows(), rel.NumRows());
+}
+
+TEST(VerticalPartitionTest, KeepingPkPreservesIt) {
+  const Relation out =
+      VerticalPartitionAttack(SmallRelation(), {"K", "A"}).value();
+  EXPECT_TRUE(out.schema().has_primary_key());
+}
+
+// ---------------------------------------------------------------- A6 remap
+
+TEST(BijectiveRemapTest, RemapsConsistently) {
+  const Relation rel = SmallRelation();
+  const RemapAttackResult result = BijectiveRemapAttack(rel, "A", 15).value();
+  ASSERT_EQ(result.relation.NumRows(), rel.NumRows());
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    const std::string original = rel.Get(i, 1).ToString();
+    const std::string remapped = result.relation.Get(i, 1).AsString();
+    EXPECT_EQ(result.ground_truth.forward.at(original), remapped);
+  }
+}
+
+TEST(BijectiveRemapTest, MappingIsBijective) {
+  const Relation rel = SmallRelation();
+  const RemapAttackResult result = BijectiveRemapAttack(rel, "A", 16).value();
+  std::set<std::string> images;
+  for (const auto& [from, to] : result.ground_truth.forward) {
+    EXPECT_TRUE(images.insert(to).second) << "two values mapped to " << to;
+  }
+}
+
+TEST(BijectiveRemapTest, NewLabelsAreOutsideOriginalDomain) {
+  const Relation rel = SmallRelation();
+  const auto domain = CategoricalDomain::FromRelationColumn(rel, 1).value();
+  const RemapAttackResult result = BijectiveRemapAttack(rel, "A", 17).value();
+  for (std::size_t i = 0; i < result.relation.NumRows(); ++i) {
+    EXPECT_FALSE(domain.Contains(result.relation.Get(i, 1)));
+  }
+}
+
+TEST(BijectiveRemapTest, FrequenciesArePreserved) {
+  // The remapping only renames categories; the frequency multiset must be
+  // identical — that is exactly what the Section 4.5 recovery relies on.
+  const Relation rel = SmallRelation();
+  const auto domain = CategoricalDomain::FromRelationColumn(rel, 1).value();
+  const RemapAttackResult result = BijectiveRemapAttack(rel, "A", 18).value();
+  const auto new_domain =
+      CategoricalDomain::FromRelationColumn(result.relation, 1).value();
+  EXPECT_EQ(new_domain.size(), domain.size());
+}
+
+TEST(BijectiveRemapTest, WorksOnIntegerColumns) {
+  SalesGenConfig config;
+  config.num_tuples = 500;
+  config.num_items = 30;
+  const Relation rel = GenerateItemScan(config);
+  const RemapAttackResult result =
+      BijectiveRemapAttack(rel, "Item_Nbr", 19).value();
+  // Remapped column becomes STRING.
+  const int col = result.relation.schema().ColumnIndex("Item_Nbr");
+  ASSERT_GE(col, 0);
+  EXPECT_EQ(result.relation.schema().column(static_cast<std::size_t>(col)).type,
+            ColumnType::kString);
+}
+
+}  // namespace
+}  // namespace catmark

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bandwidth.h"
+#include "gen/sales_gen.h"
+
+namespace catmark {
+namespace {
+
+TEST(BandwidthTest, DirectDomainBitsMatchPaperExample) {
+  // "in the case of departure cities, a value of nA = 16000 is going to
+  // yield only 14 bits" (Section 3.1): log2(16000) ~ 13.97.
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 40000;
+  gen.domain_size = 1000;
+  gen.seed = 7;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  const AttributeBandwidth bw =
+      AnalyzeAttributeBandwidth(rel, "A", 60, 0.01).value();
+  EXPECT_NEAR(bw.direct_domain_bits,
+              std::log2(static_cast<double>(bw.domain_size)), 1e-9);
+  EXPECT_LE(bw.direct_domain_bits, 10.0);  // ~1000 values -> ~10 bits only
+}
+
+TEST(BandwidthTest, AssociationChannelScalesWithNOverE) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 12000;
+  gen.domain_size = 100;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  const AttributeBandwidth bw60 =
+      AnalyzeAttributeBandwidth(rel, "A", 60, 0.01).value();
+  const AttributeBandwidth bw30 =
+      AnalyzeAttributeBandwidth(rel, "A", 30, 0.01).value();
+  EXPECT_EQ(bw60.association_bits, 200u);
+  EXPECT_EQ(bw30.association_bits, 400u);
+  EXPECT_NEAR(bw60.association_alteration_fraction, 1.0 / 60.0, 1e-12);
+  // More bandwidth costs proportionally more alterations (Section 2.4's
+  // "increasing function of allowed alterations").
+  EXPECT_GT(bw30.association_alteration_fraction,
+            bw60.association_alteration_fraction);
+}
+
+TEST(BandwidthTest, EntropyBoundedByLogDomain) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 20000;
+  gen.domain_size = 64;
+  gen.zipf_s = 1.2;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  const AttributeBandwidth bw =
+      AnalyzeAttributeBandwidth(rel, "A", 60, 0.01).value();
+  EXPECT_GT(bw.entropy_bits, 0.0);
+  EXPECT_LE(bw.entropy_bits, bw.direct_domain_bits + 1e-9);
+  // Skewed data has visibly less entropy than the uniform bound.
+  EXPECT_LT(bw.entropy_bits, bw.direct_domain_bits - 0.3);
+}
+
+TEST(BandwidthTest, FrequencyChannelCapacity) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 20000;
+  gen.domain_size = 64;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  const AttributeBandwidth bw =
+      AnalyzeAttributeBandwidth(rel, "A", 60, 0.02).value();
+  EXPECT_EQ(bw.frequency_bits, 32u);  // nA / 2
+  EXPECT_NEAR(bw.frequency_alteration_per_bit, 0.01, 1e-12);
+}
+
+TEST(BandwidthTest, RelationSweepCoversAllCategoricalAttributes) {
+  SalesGenConfig gen;
+  gen.num_tuples = 5000;
+  const Relation rel = GenerateItemScan(gen);
+  const auto all = AnalyzeRelationBandwidth(rel, 60, 0.01).value();
+  ASSERT_EQ(all.size(), 3u);  // Item_Nbr, Store_Nbr, Dept_Desc
+  EXPECT_EQ(all[0].attribute, "Item_Nbr");
+  EXPECT_GT(all[0].domain_size, all[2].domain_size);  // items >> departments
+}
+
+TEST(BandwidthTest, RejectsBadParameters) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 1000;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  EXPECT_FALSE(AnalyzeAttributeBandwidth(rel, "A", 0, 0.01).ok());
+  EXPECT_FALSE(AnalyzeAttributeBandwidth(rel, "A", 60, 0.9).ok());
+  EXPECT_FALSE(AnalyzeAttributeBandwidth(rel, "NOPE", 60, 0.01).ok());
+}
+
+}  // namespace
+}  // namespace catmark

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/certificate.h"
+#include "core/detector.h"
+#include "core/embedder.h"
+#include "exp/harness.h"
+#include "gen/sales_gen.h"
+#include "relation/histogram.h"
+#include "relation/ops.h"
+#include "random/rng.h"
+
+namespace catmark {
+namespace {
+
+struct CertTestData {
+  Relation marked;
+  WatermarkKeySet keys = WatermarkKeySet::FromPassphrase("cert-owner");
+  WatermarkParams params;
+  BitVector wm;
+  WatermarkCertificate cert;
+};
+
+CertTestData MakeSetup() {
+  CertTestData s;
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 5000;
+  gen.domain_size = 80;
+  gen.seed = 111;
+  s.marked = GenerateKeyedCategorical(gen);
+  s.params.e = 40;
+  s.wm = MakeWatermark(10, 111);
+  EmbedOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  const EmbedReport report =
+      Embedder(s.keys, s.params).Embed(s.marked, options, s.wm).value();
+  const auto freqs = FrequencyHistogram::Compute(
+                         s.marked, 1, report.domain)
+                         .value()
+                         .Frequencies();
+  s.cert = WatermarkCertificate::Create(s.keys, s.params, options, report,
+                                        s.wm, freqs, "ItemScan sample #1");
+  return s;
+}
+
+TEST(CertificateTest, SerializationRoundTrips) {
+  const CertTestData s = MakeSetup();
+  const std::string text = s.cert.Serialize();
+  const WatermarkCertificate back =
+      WatermarkCertificate::Deserialize(text).value();
+  EXPECT_TRUE(back == s.cert);
+}
+
+TEST(CertificateTest, CarriesEverythingDetectionNeeds) {
+  const CertTestData s = MakeSetup();
+  const WatermarkCertificate cert =
+      WatermarkCertificate::Deserialize(s.cert.Serialize()).value();
+  // Detect purely from certificate + keys.
+  const Detector detector(s.keys, cert.params);
+  DetectOptions options;
+  options.key_attr = cert.key_attr;
+  options.target_attr = cert.target_attr;
+  options.payload_length = cert.payload_length;
+  options.domain = cert.domain;
+  const DetectionResult detection =
+      detector.Detect(s.marked, options, cert.wm.size()).value();
+  EXPECT_EQ(detection.wm, cert.wm);
+}
+
+TEST(CertificateTest, KeyCommitmentVerifies) {
+  const CertTestData s = MakeSetup();
+  EXPECT_TRUE(s.cert.VerifyKeys(s.keys));
+  EXPECT_FALSE(s.cert.VerifyKeys(WatermarkKeySet::FromPassphrase("mallory")));
+}
+
+TEST(CertificateTest, CommitmentDoesNotRevealKeys) {
+  // The commitment is a single SHA-256: 64 hex chars, not the key bytes.
+  const CertTestData s = MakeSetup();
+  EXPECT_EQ(s.cert.key_commitment_hex.size(), 64u);
+  EXPECT_EQ(s.cert.Serialize().find(s.keys.k1.ToHex()), std::string::npos);
+}
+
+TEST(CertificateTest, IntegerDomainRoundTrips) {
+  SalesGenConfig gen;
+  gen.num_tuples = 2000;
+  gen.num_items = 50;
+  Relation rel = GenerateItemScan(gen);
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(112);
+  WatermarkParams params;
+  EmbedOptions options;
+  options.key_attr = "Visit_Nbr";
+  options.target_attr = "Item_Nbr";
+  const BitVector wm = MakeWatermark(10, 112);
+  const EmbedReport report =
+      Embedder(keys, params).Embed(rel, options, wm).value();
+  const WatermarkCertificate cert =
+      WatermarkCertificate::Create(keys, params, options, report, wm);
+  const WatermarkCertificate back =
+      WatermarkCertificate::Deserialize(cert.Serialize()).value();
+  EXPECT_TRUE(back == cert);
+  EXPECT_TRUE(back.domain.value(0).is_int64());
+}
+
+TEST(CertificateTest, NonDefaultParamsRoundTrip) {
+  CertTestData s = MakeSetup();
+  s.cert.params.ecc = EccKind::kHamming74;
+  s.cert.params.hash_algo = HashAlgorithm::kSha1;
+  s.cert.params.bit_index_mode = BitIndexMode::kMsbModL;
+  s.cert.params.min_category_keep = 7;
+  const WatermarkCertificate back =
+      WatermarkCertificate::Deserialize(s.cert.Serialize()).value();
+  EXPECT_TRUE(back == s.cert);
+}
+
+TEST(CertificateTest, RejectsGarbage) {
+  EXPECT_FALSE(WatermarkCertificate::Deserialize("not a cert").ok());
+  EXPECT_FALSE(WatermarkCertificate::Deserialize(
+                   "catmark-certificate-v1\nbogus_field=1\n")
+                   .ok());
+  EXPECT_FALSE(WatermarkCertificate::Deserialize(
+                   "catmark-certificate-v1\ndescription=x\n")
+                   .ok());  // missing wm/payload
+}
+
+TEST(CertifiedDetectionTest, OneCallWorkflow) {
+  const CertTestData s = MakeSetup();
+  const CertifiedDetection result =
+      DetectWithCertificate(s.marked, s.cert, s.keys).value();
+  EXPECT_TRUE(result.decision.owned);
+  EXPECT_EQ(result.detection.wm, s.cert.wm);
+}
+
+TEST(CertifiedDetectionTest, RefusesMismatchedKeys) {
+  const CertTestData s = MakeSetup();
+  const auto result = DetectWithCertificate(
+      s.marked, s.cert, WatermarkKeySet::FromPassphrase("impostor"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("commitment"), std::string::npos);
+}
+
+TEST(CertifiedDetectionTest, SurvivesAttackThroughCertificate) {
+  const CertTestData s = MakeSetup();
+  Xoshiro256ss rng(7);
+  const Relation kept = SampleRows(s.marked, 0.5, rng).value();
+  const CertifiedDetection result =
+      DetectWithCertificate(kept, s.cert, s.keys).value();
+  EXPECT_TRUE(result.decision.owned);
+}
+
+TEST(CertificateTest, ValuesWithCommasSurvive) {
+  // Hex-encoding must protect domain values containing the separators.
+  Relation rel(Schema::Create({{"K", ColumnType::kInt64, false},
+                               {"A", ColumnType::kString, true}},
+                              "K")
+                   .value());
+  for (int i = 0; i < 600; ++i) {
+    rel.AppendRowUnchecked({Value(static_cast<std::int64_t>(i)),
+                            Value(i % 2 ? "a,b=c" : "x\ny")});
+  }
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(113);
+  WatermarkParams params;
+  params.e = 20;
+  EmbedOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  const BitVector wm = MakeWatermark(4, 113);
+  const EmbedReport report =
+      Embedder(keys, params).Embed(rel, options, wm).value();
+  const WatermarkCertificate cert =
+      WatermarkCertificate::Create(keys, params, options, report, wm);
+  const WatermarkCertificate back =
+      WatermarkCertificate::Deserialize(cert.Serialize()).value();
+  EXPECT_TRUE(back == cert);
+  EXPECT_TRUE(back.domain.Contains(Value("a,b=c")));
+  EXPECT_TRUE(back.domain.Contains(Value("x\ny")));
+}
+
+}  // namespace
+}  // namespace catmark

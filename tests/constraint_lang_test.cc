@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "quality/constraint_lang.h"
+#include "quality/assessor.h"
+#include "relation/relation.h"
+
+namespace catmark {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Create({{"K", ColumnType::kInt64, false},
+                         {"Dept", ColumnType::kString, true},
+                         {"Store", ColumnType::kInt64, true}},
+                        "K")
+      .value();
+}
+
+Relation TestRelation() {
+  Relation rel(TestSchema());
+  const struct {
+    const char* dept;
+    std::int64_t store;
+  } rows[] = {{"GROCERY", 1}, {"GROCERY", 1}, {"GROCERY", 2}, {"DAIRY", 1},
+              {"DAIRY", 2},   {"TOYS", 2},    {"TOYS", 2},    {"TOYS", 2}};
+  std::int64_t k = 0;
+  for (const auto& r : rows) {
+    rel.AppendRowUnchecked(
+        {Value(k++), Value(std::string(r.dept)), Value(r.store)});
+  }
+  return rel;
+}
+
+// ----------------------------------------------------------------- parsing
+
+TEST(ConstraintLangTest, CompilesEveryStatementKind) {
+  QualityAssessor assessor;
+  const char* source = R"(
+    -- full constraint set for the sales feed
+    MAX ALTERATIONS 2%;
+    MAX DRIFT ON Dept 0.05;
+    MIN COUNT ON Dept 1;
+    FORBID ON Dept ('DISCONTINUED', 'RECALLED');
+    PRESERVE COUNT WHERE Dept = 'GROCERY' TOLERANCE 5%;
+    PRESERVE CONFIDENCE OF Dept = 'DAIRY' GIVEN Store = 2 TOLERANCE 10%;
+  )";
+  const Result<std::size_t> n =
+      CompileConstraints(source, TestSchema(), assessor);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(n.value(), 6u);
+  EXPECT_EQ(assessor.num_plugins(), 6u);
+}
+
+TEST(ConstraintLangTest, EmptySourceCompilesToNothing) {
+  QualityAssessor assessor;
+  EXPECT_EQ(CompileConstraints("", TestSchema(), assessor).value(), 0u);
+  EXPECT_EQ(CompileConstraints("  -- just a comment\n", TestSchema(), assessor)
+                .value(),
+            0u);
+}
+
+TEST(ConstraintLangTest, KeywordsAreCaseInsensitive) {
+  QualityAssessor assessor;
+  EXPECT_TRUE(CompileConstraints("max alterations 5%;", TestSchema(), assessor)
+                  .ok());
+}
+
+TEST(ConstraintLangTest, PercentAndDecimalAreEquivalent) {
+  QualityAssessor a, b;
+  ASSERT_TRUE(CompileConstraints("MAX ALTERATIONS 5%;", TestSchema(), a).ok());
+  ASSERT_TRUE(
+      CompileConstraints("MAX ALTERATIONS 0.05;", TestSchema(), b).ok());
+  // Both must behave identically: budget floor(0.05 * 8) = 0 alterations
+  // on the 8-row relation -> first proposal vetoed.
+  Relation ra = TestRelation(), rb = TestRelation();
+  ASSERT_TRUE(a.Begin(ra).ok());
+  ASSERT_TRUE(b.Begin(rb).ok());
+  EXPECT_EQ(a.ProposeAlteration(ra, 0, 1, Value("DAIRY")).code(),
+            b.ProposeAlteration(rb, 0, 1, Value("DAIRY")).code());
+}
+
+TEST(ConstraintLangTest, IntegerLiteralAgainstStringColumnParses) {
+  QualityAssessor assessor;
+  // Dept is STRING; a bare number is accepted and parsed as a string.
+  EXPECT_TRUE(
+      CompileConstraints("FORBID ON Dept (123);", TestSchema(), assessor)
+          .ok());
+}
+
+// ------------------------------------------------------------ parse errors
+
+TEST(ConstraintLangTest, RejectsUnknownColumn) {
+  QualityAssessor assessor;
+  const auto r =
+      CompileConstraints("MAX DRIFT ON Nope 0.1;", TestSchema(), assessor);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Nope"), std::string::npos);
+}
+
+TEST(ConstraintLangTest, RejectsUnknownStatement) {
+  QualityAssessor assessor;
+  EXPECT_FALSE(
+      CompileConstraints("DELETE FROM Dept;", TestSchema(), assessor).ok());
+}
+
+TEST(ConstraintLangTest, RejectsMissingSemicolon) {
+  QualityAssessor assessor;
+  EXPECT_FALSE(
+      CompileConstraints("MAX ALTERATIONS 2%", TestSchema(), assessor).ok());
+}
+
+TEST(ConstraintLangTest, RejectsUnterminatedString) {
+  QualityAssessor assessor;
+  EXPECT_FALSE(CompileConstraints("FORBID ON Dept ('OOPS);", TestSchema(),
+                                  assessor)
+                   .ok());
+}
+
+TEST(ConstraintLangTest, RejectsBadCharacter) {
+  QualityAssessor assessor;
+  EXPECT_FALSE(
+      CompileConstraints("MAX ALTERATIONS @;", TestSchema(), assessor).ok());
+}
+
+TEST(ConstraintLangTest, ErrorsCarryLineNumbers) {
+  QualityAssessor assessor;
+  const auto r = CompileConstraints("MAX ALTERATIONS 1%;\nMAX NONSENSE;",
+                                    TestSchema(), assessor);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+// ------------------------------------------------------- compiled behaviour
+
+TEST(ConstraintLangTest, CompiledForbidVetoes) {
+  QualityAssessor assessor;
+  ASSERT_TRUE(CompileConstraints("FORBID ON Dept ('RECALLED');", TestSchema(),
+                                 assessor)
+                  .ok());
+  Relation rel = TestRelation();
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("RECALLED"))
+                  .IsConstraintViolation());
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("DAIRY")).ok());
+}
+
+TEST(ConstraintLangTest, CompiledPreserveCountVetoes) {
+  QualityAssessor assessor;
+  ASSERT_TRUE(CompileConstraints(
+                  "PRESERVE COUNT WHERE Dept = 'GROCERY' TOLERANCE 0.0;",
+                  TestSchema(), assessor)
+                  .ok());
+  Relation rel = TestRelation();
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  // Moving a GROCERY row away changes the count -> veto at 0 tolerance.
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("DAIRY"))
+                  .IsConstraintViolation());
+  // Swapping a TOYS row to DAIRY leaves the GROCERY count alone -> OK.
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 5, 1, Value("DAIRY")).ok());
+}
+
+TEST(ConstraintLangTest, CompiledConfidenceVetoes) {
+  QualityAssessor assessor;
+  // Confidence of Dept=TOYS given Store=2 is 3/5; zero tolerance.
+  ASSERT_TRUE(
+      CompileConstraints("PRESERVE CONFIDENCE OF Dept = 'TOYS' GIVEN Store = "
+                         "2 TOLERANCE 0.0;",
+                         TestSchema(), assessor)
+          .ok());
+  Relation rel = TestRelation();
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  // Row 5 is (TOYS, 2): changing its Dept moves the confidence -> veto.
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 5, 1, Value("DAIRY"))
+                  .IsConstraintViolation());
+  // Row 0 is (GROCERY, 1): irrelevant to the rule -> OK.
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("DAIRY")).ok());
+}
+
+}  // namespace
+}  // namespace catmark

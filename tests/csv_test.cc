@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "relation/csv.h"
+#include "relation/relation.h"
+
+namespace catmark {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Create({{"K", ColumnType::kInt64, false},
+                         {"A", ColumnType::kString, true},
+                         {"X", ColumnType::kDouble, false}},
+                        "K")
+      .value();
+}
+
+Relation TestRelation() {
+  Relation rel(TestSchema());
+  EXPECT_TRUE(
+      rel.AppendRow({Value(std::int64_t{1}), Value("red"), Value(1.5)}).ok());
+  EXPECT_TRUE(
+      rel.AppendRow({Value(std::int64_t{2}), Value("blue"), Value(2.5)}).ok());
+  return rel;
+}
+
+TEST(CsvTest, WriteProducesHeaderAndRows) {
+  const std::string csv = WriteCsvString(TestRelation());
+  EXPECT_EQ(csv.substr(0, 6), "K,A,X\n");
+  EXPECT_NE(csv.find("1,red,1.5\n"), std::string::npos);
+}
+
+TEST(CsvTest, RoundTrips) {
+  const Relation rel = TestRelation();
+  const Relation back = ReadCsvString(WriteCsvString(rel), rel.schema()).value();
+  EXPECT_TRUE(rel.SameContent(back));
+}
+
+TEST(CsvTest, QuotesFieldsWithCommas) {
+  Relation rel(TestSchema());
+  ASSERT_TRUE(
+      rel.AppendRow({Value(std::int64_t{1}), Value("a,b"), Value(0.0)}).ok());
+  const std::string csv = WriteCsvString(rel);
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  const Relation back = ReadCsvString(csv, rel.schema()).value();
+  EXPECT_EQ(back.Get(0, 1).AsString(), "a,b");
+}
+
+TEST(CsvTest, QuotesFieldsWithQuotes) {
+  Relation rel(TestSchema());
+  ASSERT_TRUE(rel.AppendRow({Value(std::int64_t{1}), Value("say \"hi\""),
+                             Value(0.0)})
+                  .ok());
+  const Relation back =
+      ReadCsvString(WriteCsvString(rel), rel.schema()).value();
+  EXPECT_EQ(back.Get(0, 1).AsString(), "say \"hi\"");
+}
+
+TEST(CsvTest, QuotesFieldsWithNewlines) {
+  Relation rel(TestSchema());
+  ASSERT_TRUE(rel.AppendRow({Value(std::int64_t{1}), Value("two\nlines"),
+                             Value(0.0)})
+                  .ok());
+  const Relation back =
+      ReadCsvString(WriteCsvString(rel), rel.schema()).value();
+  EXPECT_EQ(back.Get(0, 1).AsString(), "two\nlines");
+}
+
+TEST(CsvTest, NullsRoundTripAsEmpty) {
+  Relation rel(TestSchema());
+  ASSERT_TRUE(rel.AppendRow({Value(std::int64_t{1}), Value(), Value()}).ok());
+  const Relation back =
+      ReadCsvString(WriteCsvString(rel), rel.schema()).value();
+  EXPECT_TRUE(back.Get(0, 1).is_null());
+  EXPECT_TRUE(back.Get(0, 2).is_null());
+}
+
+TEST(CsvTest, RejectsMissingHeader) {
+  EXPECT_FALSE(ReadCsvString("", TestSchema()).ok());
+}
+
+TEST(CsvTest, RejectsHeaderMismatch) {
+  EXPECT_FALSE(ReadCsvString("K,B,X\n", TestSchema()).ok());
+  EXPECT_FALSE(ReadCsvString("K,A\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, RejectsArityMismatch) {
+  EXPECT_FALSE(ReadCsvString("K,A,X\n1,red\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, RejectsTypeMismatch) {
+  EXPECT_FALSE(ReadCsvString("K,A,X\nnot-int,red,1.0\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ReadCsvString("K,A,X\n1,\"red,1.0\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  const Relation back =
+      ReadCsvString("K,A,X\r\n1,red,1.5\r\n", TestSchema()).value();
+  EXPECT_EQ(back.NumRows(), 1u);
+  EXPECT_EQ(back.Get(0, 1).AsString(), "red");
+}
+
+TEST(CsvTest, MissingFinalNewlineIsFine) {
+  const Relation back =
+      ReadCsvString("K,A,X\n1,red,1.5", TestSchema()).value();
+  EXPECT_EQ(back.NumRows(), 1u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const Relation rel = TestRelation();
+  const std::string path = ::testing::TempDir() + "/catmark_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(rel, path).ok());
+  const Relation back = ReadCsvFile(path, rel.schema()).value();
+  EXPECT_TRUE(rel.SameContent(back));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FileReadMissingFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/path.csv", TestSchema()).ok());
+}
+
+}  // namespace
+}  // namespace catmark

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/decision.h"
+#include "random/stats.h"
+#include "exp/harness.h"
+
+namespace catmark {
+namespace {
+
+TEST(ThresholdTest, MatchesClosedFormForPerfectRequirement) {
+  // For alpha just above (1/2)^n, only a perfect match suffices.
+  EXPECT_EQ(RequiredMatchThreshold(10, 1.1 * std::pow(0.5, 10)), 10u);
+}
+
+TEST(ThresholdTest, UnreachableAlphaSignalsTooShortMark) {
+  // alpha below (1/2)^n cannot be met even by a perfect match.
+  EXPECT_EQ(RequiredMatchThreshold(8, 0.5 * std::pow(0.5, 8)), 9u);
+}
+
+TEST(ThresholdTest, LooseAlphaLowersBar) {
+  const std::size_t strict = RequiredMatchThreshold(32, 1e-6);
+  const std::size_t loose = RequiredMatchThreshold(32, 0.05);
+  EXPECT_LT(loose, strict);
+  EXPECT_GT(loose, 16u);  // still better than chance
+}
+
+TEST(ThresholdTest, ThresholdActuallyMeetsAlpha) {
+  for (const double alpha : {1e-2, 1e-4, 1e-6}) {
+    const std::size_t m = RequiredMatchThreshold(64, alpha);
+    ASSERT_LE(m, 64u);
+    // Tail at the threshold is within alpha; one bit lower is not.
+    EXPECT_LE(BinomialTailAtLeast(64, m, 0.5), alpha);
+    EXPECT_GT(BinomialTailAtLeast(64, m - 1, 0.5), alpha);
+  }
+}
+
+TEST(DecideOwnershipTest, PerfectMatchOwns) {
+  const BitVector wm = MakeWatermark(16, 1);
+  const OwnershipDecision d = DecideOwnership(wm, wm);
+  EXPECT_TRUE(d.owned);
+  EXPECT_EQ(d.matched_bits, 16u);
+  EXPECT_NEAR(d.p_value, std::pow(0.5, 16), 1e-12);
+}
+
+TEST(DecideOwnershipTest, RandomMarkDoesNotOwn) {
+  const BitVector wm = MakeWatermark(16, 2);
+  const BitVector other = MakeWatermark(16, 3);
+  const OwnershipDecision d = DecideOwnership(wm, other);
+  EXPECT_FALSE(d.owned);
+}
+
+TEST(DecideOwnershipTest, SlightDamageStillOwns) {
+  const BitVector wm = MakeWatermark(32, 4);
+  BitVector damaged = wm;
+  damaged.Flip(0);
+  damaged.Flip(7);
+  const OwnershipDecision d = DecideOwnership(wm, damaged, 1e-4);
+  EXPECT_TRUE(d.owned);  // 30/32 matches is far beyond chance
+  EXPECT_EQ(d.matched_bits, 30u);
+  EXPECT_LT(d.p_value, 1e-4);
+}
+
+TEST(DecideOwnershipTest, ReportsThresholdAndSignificance) {
+  const BitVector wm = MakeWatermark(16, 5);
+  const OwnershipDecision d = DecideOwnership(wm, wm, 1e-3);
+  EXPECT_EQ(d.significance, 1e-3);
+  EXPECT_EQ(d.threshold, RequiredMatchThreshold(16, 1e-3));
+}
+
+}  // namespace
+}  // namespace catmark

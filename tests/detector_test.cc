@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "attack/attacks.h"
+#include "core/detector.h"
+#include "core/embedder.h"
+#include "exp/harness.h"
+#include "gen/sales_gen.h"
+
+namespace catmark {
+namespace {
+
+Relation StandardRelation(std::size_t n = 3000, std::uint64_t seed = 31) {
+  KeyedCategoricalConfig config;
+  config.num_tuples = n;
+  config.domain_size = 100;
+  config.seed = seed;
+  return GenerateKeyedCategorical(config);
+}
+
+EmbedOptions KA() {
+  EmbedOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  return options;
+}
+
+DetectOptions DetectKA(const EmbedReport& report) {
+  DetectOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  options.payload_length = report.payload_length;
+  options.domain = report.domain;
+  return options;
+}
+
+struct Marked {
+  Relation rel;
+  BitVector wm;
+  EmbedReport report;
+  WatermarkKeySet keys;
+  WatermarkParams params;
+};
+
+Marked EmbedStandard(std::uint64_t seed, std::uint64_t e = 30,
+                     std::size_t n = 3000) {
+  Marked m;
+  m.rel = StandardRelation(n, seed);
+  m.keys = WatermarkKeySet::FromSeed(seed);
+  m.params.e = e;
+  m.wm = MakeWatermark(10, seed);
+  const Embedder embedder(m.keys, m.params);
+  m.report = embedder.Embed(m.rel, KA(), m.wm).value();
+  return m;
+}
+
+// ------------------------------------------------------------- round trips
+
+TEST(DetectorTest, CleanRoundTripRecoversWatermark) {
+  const Marked m = EmbedStandard(1);
+  const Detector detector(m.keys, m.params);
+  const DetectionResult result =
+      detector.Detect(m.rel, DetectKA(m.report), m.wm.size()).value();
+  EXPECT_EQ(result.wm, m.wm);
+  EXPECT_EQ(result.fit_tuples, m.report.fit_tuples);
+  EXPECT_GT(result.payload_fill, 0.5);
+}
+
+TEST(DetectorTest, BlindDetectionWithoutExplicitDomain) {
+  // Fully blind: the detector derives the domain from the suspect data.
+  const Marked m = EmbedStandard(2);
+  const Detector detector(m.keys, m.params);
+  DetectOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  options.payload_length = m.report.payload_length;
+  const DetectionResult result =
+      detector.Detect(m.rel, options, m.wm.size()).value();
+  EXPECT_EQ(result.wm, m.wm);
+}
+
+TEST(DetectorTest, BlindDetectionWithDerivedPayloadLength) {
+  // When no tuples were added/removed, deriving N/e at detect time matches.
+  const Marked m = EmbedStandard(3);
+  const Detector detector(m.keys, m.params);
+  DetectOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  const DetectionResult result =
+      detector.Detect(m.rel, options, m.wm.size()).value();
+  EXPECT_EQ(result.wm, m.wm);
+}
+
+TEST(DetectorTest, WrongKeysDecodeGarbage) {
+  const Marked m = EmbedStandard(4);
+  const Detector wrong(WatermarkKeySet::FromSeed(999), m.params);
+  const DetectionResult result =
+      wrong.Detect(m.rel, DetectKA(m.report), m.wm.size()).value();
+  const MatchStats stats = MatchWatermark(m.wm, result.wm);
+  // A wrong key reads random bits: expect ~half the bits to match.
+  EXPECT_LT(stats.matched_bits, m.wm.size());
+}
+
+TEST(DetectorTest, SurvivesResortAttack) {
+  const Marked m = EmbedStandard(5);
+  const Relation shuffled = ResortAttack(m.rel, 55);
+  const Detector detector(m.keys, m.params);
+  const DetectionResult result =
+      detector.Detect(shuffled, DetectKA(m.report), m.wm.size()).value();
+  EXPECT_EQ(result.wm, m.wm) << "A4 re-sorting must not affect detection";
+}
+
+TEST(DetectorTest, SurvivesModerateDataLoss) {
+  const Marked m = EmbedStandard(6, 20, 6000);
+  const Relation kept = HorizontalPartitionAttack(m.rel, 0.5, 66).value();
+  const Detector detector(m.keys, m.params);
+  const DetectionResult result =
+      detector.Detect(kept, DetectKA(m.report), m.wm.size()).value();
+  const MatchStats stats = MatchWatermark(m.wm, result.wm);
+  EXPECT_GE(stats.match_fraction, 0.9);
+}
+
+TEST(DetectorTest, SurvivesSubsetAddition) {
+  const Marked m = EmbedStandard(7, 20, 6000);
+  const Relation enlarged = SubsetAdditionAttack(m.rel, 0.5, 77).value();
+  const Detector detector(m.keys, m.params);
+  const DetectionResult result =
+      detector.Detect(enlarged, DetectKA(m.report), m.wm.size()).value();
+  const MatchStats stats = MatchWatermark(m.wm, result.wm);
+  // Added tuples vote randomly on random positions; majority voting plus
+  // per-position tallies absorb them.
+  EXPECT_GE(stats.match_fraction, 0.9);
+}
+
+TEST(DetectorTest, EmbeddingMapVariantRoundTrips) {
+  Relation rel = StandardRelation(3000, 8);
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(8);
+  WatermarkParams params;
+  params.e = 30;
+  const BitVector wm = MakeWatermark(10, 8);
+  EmbedOptions options = KA();
+  options.build_embedding_map = true;
+  const Embedder embedder(keys, params);
+  const EmbedReport report = embedder.Embed(rel, options, wm).value();
+  ASSERT_GT(report.embedding_map.size(), 0u);
+
+  const Detector detector(keys, params);
+  DetectOptions detect_options = DetectKA(report);
+  detect_options.embedding_map = &report.embedding_map;
+  const DetectionResult result =
+      detector.Detect(rel, detect_options, wm.size()).value();
+  EXPECT_EQ(result.wm, wm);
+}
+
+TEST(DetectorTest, EmbeddingMapSerializationRoundTrips) {
+  Relation rel = StandardRelation(1000, 9);
+  EmbedOptions options = KA();
+  options.build_embedding_map = true;
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(9);
+  const Embedder embedder(keys, WatermarkParams{});
+  const BitVector wm = MakeWatermark(10, 9);
+  const EmbedReport report = embedder.Embed(rel, options, wm).value();
+
+  const EmbeddingMap restored =
+      EmbeddingMap::Deserialize(report.embedding_map.Serialize()).value();
+  EXPECT_EQ(restored.size(), report.embedding_map.size());
+
+  const Detector detector(keys, WatermarkParams{});
+  DetectOptions detect_options = DetectKA(report);
+  detect_options.embedding_map = &restored;
+  EXPECT_EQ(detector.Detect(rel, detect_options, wm.size()).value().wm, wm);
+}
+
+TEST(DetectorTest, MsbModeRoundTrips) {
+  Relation rel = StandardRelation(3000, 10);
+  WatermarkParams params;
+  params.bit_index_mode = BitIndexMode::kMsbModL;
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(10);
+  const BitVector wm = MakeWatermark(10, 10);
+  const EmbedReport report =
+      Embedder(keys, params).Embed(rel, KA(), wm).value();
+  DetectOptions options = DetectKA(report);
+  EXPECT_EQ(Detector(keys, params).Detect(rel, options, wm.size()).value().wm,
+            wm);
+}
+
+TEST(DetectorTest, AllHashAlgorithmsRoundTrip) {
+  for (const HashAlgorithm algo :
+       {HashAlgorithm::kMd5, HashAlgorithm::kSha1, HashAlgorithm::kSha256}) {
+    Relation rel = StandardRelation(2000, 11);
+    WatermarkParams params;
+    params.e = 20;  // ~10 payload positions per wm bit: reliable coverage
+    params.hash_algo = algo;
+    const WatermarkKeySet keys = WatermarkKeySet::FromSeed(11);
+    const BitVector wm = MakeWatermark(10, 11);
+    const EmbedReport report =
+        Embedder(keys, params).Embed(rel, KA(), wm).value();
+    DetectOptions options = DetectKA(report);
+    EXPECT_EQ(
+        Detector(keys, params).Detect(rel, options, wm.size()).value().wm, wm)
+        << HashAlgorithmName(algo);
+  }
+}
+
+// ------------------------------------------------------------- error paths
+
+TEST(DetectorTest, RejectsZeroLengthWatermark) {
+  const Marked m = EmbedStandard(12);
+  const Detector detector(m.keys, m.params);
+  EXPECT_FALSE(detector.Detect(m.rel, DetectKA(m.report), 0).ok());
+}
+
+TEST(DetectorTest, RejectsUnknownColumns) {
+  const Marked m = EmbedStandard(13);
+  const Detector detector(m.keys, m.params);
+  DetectOptions options;
+  options.key_attr = "NOPE";
+  options.target_attr = "A";
+  EXPECT_FALSE(detector.Detect(m.rel, options, 10).ok());
+}
+
+TEST(DetectorTest, RejectsEmptyRelation) {
+  const Marked m = EmbedStandard(14);
+  Relation empty(m.rel.schema());
+  const Detector detector(m.keys, m.params);
+  EXPECT_FALSE(detector.Detect(empty, DetectKA(m.report), 10).ok());
+}
+
+// -------------------------------------------------------------- MatchStats
+
+TEST(MatchStatsTest, PerfectMatch) {
+  const BitVector wm = MakeWatermark(10, 15);
+  const MatchStats stats = MatchWatermark(wm, wm);
+  EXPECT_EQ(stats.matched_bits, 10u);
+  EXPECT_DOUBLE_EQ(stats.match_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mark_alteration, 0.0);
+  // (1/2)^10 — the Section 4.4 false-claim probability.
+  EXPECT_NEAR(stats.false_match_probability, 1.0 / 1024.0, 1e-12);
+}
+
+TEST(MatchStatsTest, PartialMatch) {
+  const BitVector a = BitVector::FromString("1111100000").value();
+  const BitVector b = BitVector::FromString("1111111111").value();
+  const MatchStats stats = MatchWatermark(a, b);
+  EXPECT_EQ(stats.matched_bits, 5u);
+  EXPECT_DOUBLE_EQ(stats.mark_alteration, 0.5);
+  EXPECT_GT(stats.false_match_probability, 0.5);
+}
+
+TEST(MatchStatsTest, TotalMismatch) {
+  const BitVector a = BitVector(8, 0);
+  const BitVector b = BitVector(8, 1);
+  const MatchStats stats = MatchWatermark(a, b);
+  EXPECT_EQ(stats.matched_bits, 0u);
+  EXPECT_DOUBLE_EQ(stats.mark_alteration, 1.0);
+}
+
+}  // namespace
+}  // namespace catmark

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "exp/harness.h"
+#include "relation/ops.h"
+
+namespace catmark {
+namespace {
+
+TEST(HarnessTest, MakeWatermarkDeterministic) {
+  EXPECT_EQ(MakeWatermark(16, 1), MakeWatermark(16, 1));
+  EXPECT_NE(MakeWatermark(16, 1), MakeWatermark(16, 2));
+  EXPECT_EQ(MakeWatermark(16, 1).size(), 16u);
+}
+
+TEST(HarnessTest, IdentityAttackYieldsZeroAlteration) {
+  ExperimentConfig config;
+  config.num_tuples = 2000;
+  config.passes = 3;
+  WatermarkParams params;
+  params.e = 20;
+  const TrialOutcome outcome = RunAveragedTrial(
+      config, params,
+      [](const Relation& rel, std::uint64_t) -> Result<Relation> {
+        return Clone(rel);
+      });
+  EXPECT_DOUBLE_EQ(outcome.mean_alteration_pct, 0.0);
+  EXPECT_EQ(outcome.passes, 3u);
+  EXPECT_GT(outcome.mean_payload_fill, 0.3);
+  EXPECT_GT(outcome.mean_embed_alteration_pct, 0.0);
+}
+
+TEST(HarnessTest, OutcomeIsReproducible) {
+  ExperimentConfig config;
+  config.num_tuples = 2000;
+  config.passes = 3;
+  WatermarkParams params;
+  const auto attack = [](const Relation& rel,
+                         std::uint64_t) -> Result<Relation> {
+    return Clone(rel);
+  };
+  const TrialOutcome a = RunAveragedTrial(config, params, attack);
+  const TrialOutcome b = RunAveragedTrial(config, params, attack);
+  EXPECT_DOUBLE_EQ(a.mean_alteration_pct, b.mean_alteration_pct);
+  EXPECT_DOUBLE_EQ(a.mean_payload_fill, b.mean_payload_fill);
+}
+
+TEST(HarnessTest, FromEnvDefaults) {
+  ::unsetenv("CATMARK_FULL");
+  ::unsetenv("CATMARK_N");
+  ::unsetenv("CATMARK_PASSES");
+  ::unsetenv("CATMARK_DOMAIN");
+  const ExperimentConfig config = ExperimentConfig::FromEnv();
+  EXPECT_EQ(config.num_tuples, 6000u);
+  EXPECT_EQ(config.passes, 15u);
+  EXPECT_EQ(config.wm_bits, 10u);
+}
+
+TEST(HarnessTest, FromEnvOverrides) {
+  ::setenv("CATMARK_N", "1234", 1);
+  ::setenv("CATMARK_PASSES", "5", 1);
+  ::setenv("CATMARK_DOMAIN", "77", 1);
+  const ExperimentConfig config = ExperimentConfig::FromEnv();
+  EXPECT_EQ(config.num_tuples, 1234u);
+  EXPECT_EQ(config.passes, 5u);
+  EXPECT_EQ(config.domain_size, 77u);
+  ::unsetenv("CATMARK_N");
+  ::unsetenv("CATMARK_PASSES");
+  ::unsetenv("CATMARK_DOMAIN");
+}
+
+TEST(HarnessTest, FullFlagSetsPaperScale) {
+  ::setenv("CATMARK_FULL", "1", 1);
+  const ExperimentConfig config = ExperimentConfig::FromEnv();
+  EXPECT_EQ(config.num_tuples, 141000u);
+  ::unsetenv("CATMARK_FULL");
+}
+
+TEST(HarnessTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace catmark

@@ -1,0 +1,125 @@
+// Parameterized property sweep of the frequency-domain channel: the blind
+// embed -> detect round trip must hold across quantization steps, domain
+// sizes, mark lengths and skews, and survive subset selection scaled to the
+// quantization robustness radius.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "attack/attacks.h"
+#include "core/detector.h"
+#include "core/freq_mark.h"
+#include "exp/harness.h"
+#include "gen/sales_gen.h"
+
+namespace catmark {
+namespace {
+
+struct FreqConfig {
+  std::size_t n;
+  std::size_t domain;
+  std::size_t wm_bits;
+  double q;
+  double zipf;
+};
+
+std::string FreqConfigName(const ::testing::TestParamInfo<FreqConfig>& info) {
+  const FreqConfig& c = info.param;
+  std::string q = std::to_string(static_cast<int>(c.q * 1000));
+  std::string z = std::to_string(static_cast<int>(c.zipf * 10));
+  return "n" + std::to_string(c.n) + "_d" + std::to_string(c.domain) + "_w" +
+         std::to_string(c.wm_bits) + "_q" + q + "_z" + z;
+}
+
+class FreqMarkProperty : public ::testing::TestWithParam<FreqConfig> {
+ protected:
+  void SetUp() override {
+    const FreqConfig& c = GetParam();
+    KeyedCategoricalConfig gen;
+    gen.num_tuples = c.n;
+    gen.domain_size = c.domain;
+    gen.zipf_s = c.zipf;
+    gen.seed = 400 + c.domain + c.wm_bits;
+    rel_ = GenerateKeyedCategorical(gen);
+    FreqMarkParams params;
+    params.quantization_step = c.q;
+    marker_ = std::make_unique<FrequencyMarker>(
+        SecretKey::FromSeed(500 + c.domain), params);
+    wm_ = MakeWatermark(c.wm_bits, 600 + c.domain + c.wm_bits);
+    domain_ = CategoricalDomain::FromRelationColumn(rel_, 1).value();
+    Result<FreqEmbedReport> report = marker_->Embed(rel_, "A", wm_);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    report_ = std::move(report).value();
+  }
+
+  Relation rel_;
+  CategoricalDomain domain_;
+  std::unique_ptr<FrequencyMarker> marker_;
+  BitVector wm_;
+  FreqEmbedReport report_;
+};
+
+TEST_P(FreqMarkProperty, BlindRoundTripIsIdentity) {
+  const FreqDetectReport detect =
+      marker_->Detect(rel_, "A", wm_.size()).value();
+  EXPECT_EQ(detect.wm, wm_);
+}
+
+TEST_P(FreqMarkProperty, RoundTripWithOwnerDomain) {
+  const FreqDetectReport detect =
+      marker_->Detect(rel_, "A", wm_.size(), domain_).value();
+  EXPECT_EQ(detect.wm, wm_);
+}
+
+TEST_P(FreqMarkProperty, InvariantUnderResorting) {
+  const Relation shuffled = ResortAttack(rel_, 777);
+  EXPECT_EQ(marker_->Detect(shuffled, "A", wm_.size()).value().wm, wm_);
+}
+
+TEST_P(FreqMarkProperty, SurvivesHalfSubsetWithOwnerDomain) {
+  const Relation kept = HorizontalPartitionAttack(rel_, 0.5, 778).value();
+  const FreqDetectReport detect =
+      marker_->Detect(kept, "A", wm_.size(), domain_).value();
+  const MatchStats stats = MatchWatermark(wm_, detect.wm);
+  EXPECT_GE(stats.match_fraction,
+            1.0 - 1.0 / static_cast<double>(wm_.size()));
+}
+
+TEST_P(FreqMarkProperty, EmbeddingCostBounded) {
+  // Σ|delta|/2 is at most ~|wm| cells of mass plus the floors.
+  const double bound =
+      (static_cast<double>(wm_.size()) + 2.0) * GetParam().q *
+      static_cast<double>(rel_.NumRows());
+  EXPECT_LE(static_cast<double>(report_.tuples_moved), bound);
+}
+
+TEST_P(FreqMarkProperty, DomainSurvivesEmbedding) {
+  const CategoricalDomain after =
+      CategoricalDomain::FromRelationColumn(rel_, 1).value();
+  EXPECT_EQ(after.size(), domain_.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FreqMarkProperty,
+    ::testing::Values(
+        // Vary quantization step.
+        FreqConfig{30000, 64, 8, 0.01, 1.0},
+        FreqConfig{30000, 64, 8, 0.02, 1.0},
+        FreqConfig{30000, 64, 8, 0.04, 1.0},
+        // Vary domain size.
+        FreqConfig{30000, 32, 8, 0.02, 1.0},
+        FreqConfig{30000, 256, 8, 0.02, 1.0},
+        // Vary mark length.
+        FreqConfig{30000, 64, 4, 0.02, 1.0},
+        FreqConfig{30000, 64, 16, 0.015, 1.0},
+        // Vary skew (uniform through heavy).
+        FreqConfig{30000, 64, 8, 0.02, 0.0},
+        FreqConfig{30000, 64, 8, 0.02, 1.5},
+        // Vary N.
+        FreqConfig{8000, 64, 8, 0.02, 1.0},
+        FreqConfig{60000, 64, 8, 0.02, 1.0}),
+    FreqConfigName);
+
+}  // namespace
+}  // namespace catmark

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/sales_gen.h"
+#include "relation/domain.h"
+#include "relation/histogram.h"
+
+namespace catmark {
+namespace {
+
+TEST(SalesGenTest, SchemaMatchesItemScan) {
+  SalesGenConfig config;
+  config.num_tuples = 100;
+  const Relation rel = GenerateItemScan(config);
+  const Schema& s = rel.schema();
+  EXPECT_EQ(s.num_columns(), 6u);
+  EXPECT_EQ(s.column(0).name, "Visit_Nbr");
+  EXPECT_EQ(s.column(1).name, "Item_Nbr");
+  EXPECT_TRUE(s.column(1).categorical);
+  EXPECT_EQ(s.primary_key_index(), 0);
+  EXPECT_EQ(rel.NumRows(), 100u);
+}
+
+TEST(SalesGenTest, PrimaryKeysAreUnique) {
+  SalesGenConfig config;
+  config.num_tuples = 5000;
+  const Relation rel = GenerateItemScan(config);
+  std::set<std::int64_t> keys;
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    keys.insert(rel.Get(i, 0).AsInt64());
+  }
+  EXPECT_EQ(keys.size(), rel.NumRows());
+}
+
+TEST(SalesGenTest, SequentialVisitNumbers) {
+  SalesGenConfig config;
+  config.num_tuples = 10;
+  config.sparse_visit_numbers = false;
+  const Relation rel = GenerateItemScan(config);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rel.Get(i, 0).AsInt64(), static_cast<std::int64_t>(i + 1));
+  }
+}
+
+TEST(SalesGenTest, ItemDomainBoundedByConfig) {
+  SalesGenConfig config;
+  config.num_tuples = 5000;
+  config.num_items = 50;
+  const Relation rel = GenerateItemScan(config);
+  const auto domain = CategoricalDomain::FromRelationColumn(rel, 1).value();
+  EXPECT_LE(domain.size(), 50u);
+  EXPECT_GE(domain.size(), 40u);  // virtually all items appear at this N
+}
+
+TEST(SalesGenTest, DeterministicPerSeed) {
+  SalesGenConfig config;
+  config.num_tuples = 200;
+  const Relation a = GenerateItemScan(config);
+  const Relation b = GenerateItemScan(config);
+  EXPECT_TRUE(a.SameContent(b));
+  config.seed = 43;
+  const Relation c = GenerateItemScan(config);
+  EXPECT_FALSE(a.SameContent(c));
+}
+
+TEST(SalesGenTest, ZipfSkewShowsInFrequencies) {
+  SalesGenConfig config;
+  config.num_tuples = 20000;
+  config.num_items = 100;
+  config.item_zipf_s = 1.2;
+  const Relation rel = GenerateItemScan(config);
+  const auto domain = CategoricalDomain::FromRelationColumn(rel, 1).value();
+  const auto hist = FrequencyHistogram::Compute(rel, 1, domain).value();
+  double max_f = 0.0;
+  for (std::size_t t = 0; t < domain.size(); ++t) {
+    max_f = std::max(max_f, hist.frequency(t));
+  }
+  // With s=1.2 over 100 items the top item carries far more than uniform.
+  EXPECT_GT(max_f, 3.0 / 100.0);
+}
+
+TEST(SalesGenTest, AmountsAndQuantitiesInRange) {
+  SalesGenConfig config;
+  config.num_tuples = 1000;
+  const Relation rel = GenerateItemScan(config);
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    const std::int64_t qty = rel.Get(i, 4).AsInt64();
+    EXPECT_GE(qty, 1);
+    EXPECT_LE(qty, 9);
+    EXPECT_GT(rel.Get(i, 5).AsDouble(), 0.0);
+  }
+}
+
+TEST(KeyedCategoricalTest, SchemaAndSize) {
+  KeyedCategoricalConfig config;
+  config.num_tuples = 500;
+  config.domain_size = 20;
+  const Relation rel = GenerateKeyedCategorical(config);
+  EXPECT_EQ(rel.NumRows(), 500u);
+  EXPECT_EQ(rel.schema().num_columns(), 2u);
+  EXPECT_EQ(rel.schema().primary_key_index(), 0);
+  EXPECT_TRUE(rel.schema().column(1).categorical);
+}
+
+TEST(KeyedCategoricalTest, LabelsAreZeroPadded) {
+  KeyedCategoricalConfig config;
+  config.num_tuples = 2000;
+  config.domain_size = 100;
+  const Relation rel = GenerateKeyedCategorical(config);
+  const auto domain = CategoricalDomain::FromRelationColumn(rel, 1).value();
+  for (std::size_t t = 0; t < domain.size(); ++t) {
+    const std::string& label = domain.value(t).AsString();
+    EXPECT_EQ(label.size(), 4u);  // "V" + 3 digits for domain_size=100
+    EXPECT_EQ(label[0], 'V');
+  }
+}
+
+TEST(KeyedCategoricalTest, UniqueKeys) {
+  KeyedCategoricalConfig config;
+  config.num_tuples = 3000;
+  const Relation rel = GenerateKeyedCategorical(config);
+  std::set<std::int64_t> keys;
+  for (std::size_t i = 0; i < rel.NumRows(); ++i) {
+    keys.insert(rel.Get(i, 0).AsInt64());
+  }
+  EXPECT_EQ(keys.size(), rel.NumRows());
+}
+
+TEST(KeyedCategoricalTest, DeterministicPerSeed) {
+  KeyedCategoricalConfig config;
+  config.num_tuples = 100;
+  EXPECT_TRUE(GenerateKeyedCategorical(config).SameContent(
+      GenerateKeyedCategorical(config)));
+}
+
+TEST(KeyedCategoricalTest, PopularityNotAlignedWithSortOrder) {
+  // The Zipf weights are assigned in shuffled order, so the most frequent
+  // label should usually not be V0000 (probability 1/domain if aligned).
+  KeyedCategoricalConfig config;
+  config.num_tuples = 20000;
+  config.domain_size = 50;
+  config.zipf_s = 1.5;
+  const Relation rel = GenerateKeyedCategorical(config);
+  const auto domain = CategoricalDomain::FromRelationColumn(rel, 1).value();
+  const auto hist = FrequencyHistogram::Compute(rel, 1, domain).value();
+  std::size_t argmax = 0;
+  for (std::size_t t = 1; t < domain.size(); ++t) {
+    if (hist.count(t) > hist.count(argmax)) argmax = t;
+  }
+  EXPECT_NE(domain.value(argmax).AsString(), "V00");
+}
+
+}  // namespace
+}  // namespace catmark

@@ -1,0 +1,82 @@
+// Golden regression vectors: with everything pinned (data seed, keys, e,
+// ECC), the embedding algorithm's output is part of the on-disk/contract
+// surface — detectors in the field hold certificates for data marked by
+// *this* exact algorithm, so any accidental change to the fitness test,
+// the bit-position hash or the value-selection rule must fail loudly here
+// rather than silently orphan deployed watermarks.
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/embedder.h"
+#include "crypto/sha256.h"
+#include "exp/harness.h"
+#include "gen/sales_gen.h"
+#include "relation/csv.h"
+
+namespace catmark {
+namespace {
+
+struct GoldenSetup {
+  Relation marked;
+  EmbedReport report;
+  BitVector wm;
+};
+
+GoldenSetup RunGoldenEmbedding() {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 2000;
+  gen.domain_size = 64;
+  gen.zipf_s = 1.0;
+  gen.seed = 424242;
+  GoldenSetup s;
+  s.marked = GenerateKeyedCategorical(gen);
+  const WatermarkKeySet keys = WatermarkKeySet::FromPassphrase("golden");
+  WatermarkParams params;
+  params.e = 25;
+  s.wm = BitVector::FromString("1011001110").value();
+  EmbedOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  s.report = Embedder(keys, params).Embed(s.marked, options, s.wm).value();
+  return s;
+}
+
+TEST(GoldenTest, GeneratorIsStable) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 2000;
+  gen.domain_size = 64;
+  gen.seed = 424242;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  Sha256 sha;
+  EXPECT_EQ(
+      sha.Hash(WriteCsvString(rel)).ToHex(),
+      "a74968c3b53d067b5bf36f885cadf48e6c8ec835c801cd26b51b6cba8084a0a8");
+}
+
+TEST(GoldenTest, EmbeddingIsStable) {
+  const GoldenSetup s = RunGoldenEmbedding();
+  Sha256 sha;
+  EXPECT_EQ(
+      sha.Hash(WriteCsvString(s.marked)).ToHex(),
+      "cdc9fcdcdc04480afcdb7338d8c67512911da1251e3ce1e57be25df5903c2e82");
+}
+
+TEST(GoldenTest, ReportCountsAreStable) {
+  const GoldenSetup s = RunGoldenEmbedding();
+  EXPECT_EQ(s.report.fit_tuples, 71u);
+  EXPECT_EQ(s.report.altered_tuples, 70u);
+  EXPECT_EQ(s.report.payload_length, 80u);
+}
+
+TEST(GoldenTest, KeyedHashVectorsAreStable) {
+  // The exact H(V,k) values the fitness test depends on.
+  const WatermarkKeySet keys = WatermarkKeySet::FromPassphrase("golden");
+  const KeyedHasher h1(keys.k1);
+  EXPECT_EQ(h1.Hash64(std::uint64_t{1}), 0x1a6a2a152f01c4e4ULL);
+  EXPECT_EQ(h1.Hash64(std::string_view("watermark")),
+            0x5c16678f632a5643ULL);
+}
+
+}  // namespace
+}  // namespace catmark

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/hmac.h"
+
+namespace catmark {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1Sha256) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const Hmac hmac(HashAlgorithm::kSha256, key);
+  EXPECT_EQ(
+      hmac.Compute("Hi There").ToHex(),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacTest, Rfc4231Case2Sha256) {
+  const Hmac hmac(HashAlgorithm::kSha256, Bytes("Jefe"));
+  EXPECT_EQ(
+      hmac.Compute("what do ya want for nothing?").ToHex(),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20 x 0xaa key, 50 x 0xdd data.
+TEST(HmacTest, Rfc4231Case3Sha256) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  const Hmac hmac(HashAlgorithm::kSha256, key);
+  EXPECT_EQ(
+      hmac.Compute(data.data(), data.size()).ToHex(),
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size (131 x 0xaa).
+TEST(HmacTest, Rfc4231Case6LongKeySha256) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const Hmac hmac(HashAlgorithm::kSha256, key);
+  EXPECT_EQ(
+      hmac.Compute("Test Using Larger Than Block-Size Key - Hash Key First")
+          .ToHex(),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// RFC 2202 test case 1 for HMAC-SHA1.
+TEST(HmacTest, Rfc2202Case1Sha1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const Hmac hmac(HashAlgorithm::kSha1, key);
+  EXPECT_EQ(hmac.Compute("Hi There").ToHex(),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+// RFC 2202 test case 1 for HMAC-MD5.
+TEST(HmacTest, Rfc2202Case1Md5) {
+  const std::vector<std::uint8_t> key(16, 0x0b);
+  const Hmac hmac(HashAlgorithm::kMd5, key);
+  EXPECT_EQ(hmac.Compute("Hi There").ToHex(),
+            "9294727a3638bb1c13f48ef8158bfc9d");
+}
+
+TEST(HmacTest, Compute64IsDigestPrefix) {
+  const Hmac hmac(HashAlgorithm::kSha256, Bytes("key"));
+  const Digest d = hmac.Compute("value");
+  EXPECT_EQ(hmac.Compute64("value"), d.ToUint64());
+}
+
+TEST(HmacTest, DifferentKeysDiffer) {
+  const Hmac a(HashAlgorithm::kSha256, Bytes("k1"));
+  const Hmac b(HashAlgorithm::kSha256, Bytes("k2"));
+  EXPECT_NE(a.Compute64("msg"), b.Compute64("msg"));
+}
+
+}  // namespace
+}  // namespace catmark

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/embedder.h"
+#include "core/codec.h"
+#include "core/incremental.h"
+#include "exp/harness.h"
+#include "gen/sales_gen.h"
+
+namespace catmark {
+namespace {
+
+struct Fixture {
+  Relation rel;
+  WatermarkKeySet keys = WatermarkKeySet::FromSeed(91);
+  WatermarkParams params;
+  BitVector wm;
+  EmbedOptions options;
+  EmbedReport report;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 4000;
+  gen.domain_size = 100;
+  gen.seed = 91;
+  f.rel = GenerateKeyedCategorical(gen);
+  f.params.e = 30;
+  f.wm = MakeWatermark(10, 91);
+  f.options.key_attr = "K";
+  f.options.target_attr = "A";
+  const Embedder embedder(f.keys, f.params);
+  f.report = embedder.Embed(f.rel, f.options, f.wm).value();
+  return f;
+}
+
+DetectionResult Detect(const Fixture& f, const Relation& rel) {
+  const Detector detector(f.keys, f.params);
+  DetectOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  options.payload_length = f.report.payload_length;
+  options.domain = f.report.domain;
+  return detector.Detect(rel, options, f.wm.size()).value();
+}
+
+TEST(IncrementalTest, InsertMarksFitTuples) {
+  Fixture f = MakeFixture();
+  const IncrementalWatermarker inc(f.keys, f.params, f.options, f.report,
+                                   f.wm);
+  std::size_t fit_count = 0;
+  for (std::int64_t k = 1000000; k < 1003000; ++k) {
+    const bool fit =
+        inc.Insert(f.rel, {Value(k), Value("V0000")}).value();
+    if (fit) ++fit_count;
+  }
+  // ~3000/30 = 100 of the inserted tuples should be fit.
+  EXPECT_NEAR(static_cast<double>(fit_count), 100.0, 40.0);
+  EXPECT_EQ(f.rel.NumRows(), 7000u);
+  // The grown relation still detects perfectly.
+  EXPECT_EQ(Detect(f, f.rel).wm, f.wm);
+}
+
+TEST(IncrementalTest, InsertedFitTuplesVoteCorrectly) {
+  Fixture f = MakeFixture();
+  const IncrementalWatermarker inc(f.keys, f.params, f.options, f.report,
+                                   f.wm);
+  // Build a relation of ONLY incrementally-inserted tuples: they alone must
+  // carry a detectable mark.
+  Relation fresh(f.rel.schema());
+  std::size_t fit = 0;
+  for (std::int64_t k = 5000000; fit < 200; ++k) {
+    if (inc.Insert(fresh, {Value(k), Value("V0001")}).value()) ++fit;
+  }
+  EXPECT_EQ(Detect(f, fresh).wm, f.wm);
+}
+
+TEST(IncrementalTest, RefreshRepairsDamagedTuple) {
+  Fixture f = MakeFixture();
+  const IncrementalWatermarker inc(f.keys, f.params, f.options, f.report,
+                                   f.wm);
+  // Find a fit tuple, damage its target attribute, refresh, and verify the
+  // value is restored to a mark-carrying one.
+  const FitnessSelector fitness(f.keys.k1, f.params.e);
+  std::size_t fit_row = f.rel.NumRows();
+  for (std::size_t i = 0; i < f.rel.NumRows(); ++i) {
+    if (fitness.IsFit(f.rel.Get(i, 0))) {
+      fit_row = i;
+      break;
+    }
+  }
+  ASSERT_LT(fit_row, f.rel.NumRows());
+  const Value marked_value = f.rel.Get(fit_row, 1);
+  ASSERT_TRUE(f.rel.Set(fit_row, 1, Value("V0002")).ok());
+  EXPECT_TRUE(inc.Refresh(f.rel, fit_row).value());
+  EXPECT_EQ(f.rel.Get(fit_row, 1), marked_value);
+}
+
+TEST(IncrementalTest, RefreshLeavesUnfitTuplesAlone) {
+  Fixture f = MakeFixture();
+  const IncrementalWatermarker inc(f.keys, f.params, f.options, f.report,
+                                   f.wm);
+  const FitnessSelector fitness(f.keys.k1, f.params.e);
+  std::size_t unfit_row = f.rel.NumRows();
+  for (std::size_t i = 0; i < f.rel.NumRows(); ++i) {
+    if (!fitness.IsFit(f.rel.Get(i, 0))) {
+      unfit_row = i;
+      break;
+    }
+  }
+  ASSERT_LT(unfit_row, f.rel.NumRows());
+  const Value before = f.rel.Get(unfit_row, 1);
+  EXPECT_FALSE(inc.Refresh(f.rel, unfit_row).value());
+  EXPECT_EQ(f.rel.Get(unfit_row, 1), before);
+}
+
+TEST(IncrementalTest, InsertValidatesArity) {
+  Fixture f = MakeFixture();
+  const IncrementalWatermarker inc(f.keys, f.params, f.options, f.report,
+                                   f.wm);
+  EXPECT_FALSE(inc.Insert(f.rel, {Value(std::int64_t{1})}).ok());
+}
+
+TEST(IncrementalTest, RefreshValidatesRowIndex) {
+  Fixture f = MakeFixture();
+  const IncrementalWatermarker inc(f.keys, f.params, f.options, f.report,
+                                   f.wm);
+  EXPECT_FALSE(inc.Refresh(f.rel, f.rel.NumRows()).ok());
+}
+
+TEST(IncrementalTest, ExposesEmbeddingMetadata) {
+  Fixture f = MakeFixture();
+  const IncrementalWatermarker inc(f.keys, f.params, f.options, f.report,
+                                   f.wm);
+  EXPECT_EQ(inc.payload_length(), f.report.payload_length);
+  EXPECT_EQ(inc.domain().size(), f.report.domain.size());
+}
+
+}  // namespace
+}  // namespace catmark

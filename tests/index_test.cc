@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "gen/sales_gen.h"
+#include "relation/index.h"
+
+namespace catmark {
+namespace {
+
+TEST(PrimaryKeyIndexTest, FindsEveryRow) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 2000;
+  gen.seed = 121;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  const PrimaryKeyIndex index = PrimaryKeyIndex::Build(rel).value();
+  EXPECT_EQ(index.size(), rel.NumRows());
+  EXPECT_EQ(index.key_column(), 0u);
+  for (std::size_t i = 0; i < rel.NumRows(); i += 97) {
+    EXPECT_EQ(index.Find(rel.Get(i, 0)).value(), i);
+  }
+}
+
+TEST(PrimaryKeyIndexTest, MissingKeyReturnsNullopt) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 100;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  const PrimaryKeyIndex index = PrimaryKeyIndex::Build(rel).value();
+  EXPECT_FALSE(index.Find(Value(std::int64_t{-1})).has_value());
+  // Type-tagged: the string spelling of a key is not the key.
+  EXPECT_FALSE(index.Find(Value(rel.Get(0, 0).ToString())).has_value());
+}
+
+TEST(PrimaryKeyIndexTest, RejectsSchemaWithoutPk) {
+  Relation rel(
+      Schema::Create({{"A", ColumnType::kString, true}}, "").value());
+  rel.AppendRowUnchecked({Value("x")});
+  EXPECT_FALSE(PrimaryKeyIndex::Build(rel).ok());
+}
+
+TEST(PrimaryKeyIndexTest, RejectsDuplicateKeys) {
+  Relation rel(Schema::Create({{"K", ColumnType::kInt64, false},
+                               {"A", ColumnType::kString, true}},
+                              "K")
+                   .value());
+  rel.AppendRowUnchecked({Value(std::int64_t{1}), Value("a")});
+  rel.AppendRowUnchecked({Value(std::int64_t{1}), Value("b")});
+  const auto r = PrimaryKeyIndex::Build(rel);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(PrimaryKeyIndexTest, RejectsNullKeys) {
+  Relation rel(Schema::Create({{"K", ColumnType::kInt64, false},
+                               {"A", ColumnType::kString, true}},
+                              "K")
+                   .value());
+  rel.AppendRowUnchecked({Value(), Value("a")});
+  EXPECT_FALSE(PrimaryKeyIndex::Build(rel).ok());
+}
+
+TEST(PrimaryKeyIndexTest, StringKeysWork) {
+  Relation rel(Schema::Create({{"K", ColumnType::kString, false},
+                               {"A", ColumnType::kString, true}},
+                              "K")
+                   .value());
+  rel.AppendRowUnchecked({Value("alpha"), Value("x")});
+  rel.AppendRowUnchecked({Value("beta"), Value("y")});
+  const PrimaryKeyIndex index = PrimaryKeyIndex::Build(rel).value();
+  EXPECT_EQ(index.Find(Value("beta")).value(), 1u);
+}
+
+}  // namespace
+}  // namespace catmark

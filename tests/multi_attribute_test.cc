@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/attacks.h"
+#include "core/multi_attribute.h"
+#include "exp/harness.h"
+#include "gen/sales_gen.h"
+
+namespace catmark {
+namespace {
+
+Relation Sales(std::size_t n = 6000, std::uint64_t seed = 41) {
+  SalesGenConfig config;
+  config.num_tuples = n;
+  config.num_items = 200;
+  config.seed = seed;
+  return GenerateItemScan(config);
+}
+
+// ---------------------------------------------------------------- planner
+
+TEST(PlanPairClosureTest, AnchorsEveryCategoricalToPrimaryKey) {
+  const Relation rel = Sales(2000);
+  const auto pairs = PlanPairClosure(rel).value();
+  std::set<std::string> pk_targets;
+  for (const AttributePair& p : pairs) {
+    if (p.key_attr == "Visit_Nbr") pk_targets.insert(p.target_attr);
+  }
+  EXPECT_EQ(pk_targets,
+            (std::set<std::string>{"Item_Nbr", "Store_Nbr", "Dept_Desc"}));
+}
+
+TEST(PlanPairClosureTest, CoversEveryCategoricalPair) {
+  const Relation rel = Sales(2000);
+  const auto pairs = PlanPairClosure(rel).value();
+  std::set<std::set<std::string>> unordered;
+  for (const AttributePair& p : pairs) {
+    if (p.key_attr != "Visit_Nbr") {
+      unordered.insert({p.key_attr, p.target_attr});
+    }
+  }
+  // 3 categorical attributes -> 3 unordered pairs.
+  EXPECT_EQ(unordered.size(), 3u);
+}
+
+TEST(PlanPairClosureTest, NoSelfPairs) {
+  const auto pairs = PlanPairClosure(Sales(1000)).value();
+  for (const AttributePair& p : pairs) {
+    EXPECT_NE(p.key_attr, p.target_attr);
+  }
+}
+
+TEST(PlanPairClosureTest, WorksWithoutPrimaryKey) {
+  const Relation rel = Sales(2000);
+  const Relation no_pk =
+      VerticalPartitionAttack(rel, {"Item_Nbr", "Dept_Desc"}).value();
+  const auto pairs = PlanPairClosure(no_pk).value();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_NE(pairs[0].key_attr, pairs[0].target_attr);
+}
+
+TEST(PlanPairClosureTest, FailsWithNoCategoricalTargets) {
+  Relation rel(Schema::Create({{"K", ColumnType::kInt64, false},
+                               {"X", ColumnType::kDouble, false}},
+                              "K")
+                   .value());
+  rel.AppendRowUnchecked({Value(std::int64_t{1}), Value(0.5)});
+  EXPECT_FALSE(PlanPairClosure(rel).ok());
+}
+
+// --------------------------------------------------------------- embedding
+
+TEST(MultiAttributeTest, EmbedAllRunsEveryPass) {
+  Relation rel = Sales();
+  WatermarkParams params;
+  params.e = 25;
+  const MultiAttributeEmbedder multi(WatermarkKeySet::FromSeed(1), params);
+  const auto pairs = PlanPairClosure(rel).value();
+  const BitVector wm = MakeWatermark(10, 1);
+  const MultiEmbedReport report = multi.EmbedAll(rel, pairs, wm).value();
+  EXPECT_EQ(report.passes.size(), pairs.size());
+  EXPECT_GT(report.total_altered, 0u);
+}
+
+TEST(MultiAttributeTest, LedgerPreventsCrossPassInterference) {
+  Relation rel = Sales();
+  WatermarkParams params;
+  params.e = 10;  // dense marking to force collisions
+  const MultiAttributeEmbedder multi(WatermarkKeySet::FromSeed(2), params);
+  const auto pairs = PlanPairClosure(rel).value();
+  const MultiEmbedReport report =
+      multi.EmbedAll(rel, pairs, MakeWatermark(10, 2)).value();
+  // Later passes must have skipped at least some already-marked cells
+  // (Dept_Desc is a target of two passes at e=10 over 6000 tuples).
+  EXPECT_GT(report.total_skipped_by_ledger, 0u);
+}
+
+TEST(MultiAttributeTest, AllWitnessesDetectOnIntactData) {
+  Relation rel = Sales();
+  WatermarkParams params;
+  params.e = 25;
+  const MultiAttributeEmbedder multi(WatermarkKeySet::FromSeed(3), params);
+  const auto pairs = PlanPairClosure(rel).value();
+  const BitVector wm = MakeWatermark(10, 3);
+  const MultiEmbedReport embed = multi.EmbedAll(rel, pairs, wm).value();
+
+  const auto detections =
+      multi.DetectAll(rel, pairs, wm.size(),
+                      embed.passes[0].report.payload_length)
+          .value();
+  EXPECT_EQ(detections.size(), pairs.size());
+  std::size_t pk_perfect = 0, pk_total = 0;
+  for (const PairDetection& d : detections) {
+    if (d.pair.key_attr != "Visit_Nbr") continue;
+    ++pk_total;
+    if (d.detection.wm == wm) ++pk_perfect;
+  }
+  // PK-anchored passes must be perfect. Categorical-keyed passes cover only
+  // a handful of payload positions (one per fit *category* — the Section
+  // 3.3 note), so their individual testimony is weak; the coverage-weighted
+  // combination must still be exact.
+  EXPECT_EQ(pk_perfect, pk_total);
+  EXPECT_EQ(MultiAttributeEmbedder::CombineDetections(detections, wm.size()),
+            wm);
+}
+
+TEST(MultiAttributeTest, SurvivesVerticalPartitioningWithoutPk) {
+  // The A5 scenario of Section 3.3: Mallory keeps two categorical columns,
+  // no primary key. The (Item_Nbr, Dept_Desc)-style pair still testifies.
+  Relation rel = Sales();
+  WatermarkParams params;
+  params.e = 25;
+  const MultiAttributeEmbedder multi(WatermarkKeySet::FromSeed(4), params);
+  const auto pairs = PlanPairClosure(rel).value();
+  const BitVector wm = MakeWatermark(10, 4);
+  const MultiEmbedReport embed = multi.EmbedAll(rel, pairs, wm).value();
+
+  const Relation partitioned =
+      VerticalPartitionAttack(rel, {"Item_Nbr", "Store_Nbr", "Dept_Desc"})
+          .value();
+  const auto detections =
+      multi.DetectAll(partitioned, pairs, wm.size(),
+                      embed.passes[0].report.payload_length)
+          .value();
+  ASSERT_FALSE(detections.empty())
+      << "some witness must survive the partition";
+  const BitVector combined =
+      MultiAttributeEmbedder::CombineDetections(detections, wm.size());
+  const MatchStats stats = MatchWatermark(wm, combined);
+  EXPECT_GE(stats.match_fraction, 0.8);
+  // PK-anchored pairs must have been skipped, not failed.
+  for (const PairDetection& d : detections) {
+    EXPECT_NE(d.pair.key_attr, "Visit_Nbr");
+  }
+}
+
+TEST(MultiAttributeTest, BaseSchemeDiesUnderSamePartitionSingleWitness) {
+  // Control for the test above: with only the (K, A) pass, dropping K
+  // leaves nothing to detect with.
+  Relation rel = Sales();
+  WatermarkParams params;
+  params.e = 25;
+  const MultiAttributeEmbedder multi(WatermarkKeySet::FromSeed(5), params);
+  const std::vector<AttributePair> only_pk = {{"Visit_Nbr", "Item_Nbr"}};
+  const BitVector wm = MakeWatermark(10, 5);
+  const MultiEmbedReport embed = multi.EmbedAll(rel, only_pk, wm).value();
+  const Relation partitioned =
+      VerticalPartitionAttack(rel, {"Item_Nbr", "Dept_Desc"}).value();
+  const auto detections =
+      multi.DetectAll(partitioned, only_pk, wm.size(),
+                      embed.passes[0].report.payload_length)
+          .value();
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST(MultiAttributeTest, EmptyPairListRejected) {
+  Relation rel = Sales(500);
+  const MultiAttributeEmbedder multi(WatermarkKeySet::FromSeed(6),
+                                     WatermarkParams{});
+  EXPECT_FALSE(multi.EmbedAll(rel, {}, MakeWatermark(10, 6)).ok());
+}
+
+TEST(MultiAttributeTest, CombineDetectionsMajority) {
+  PairDetection a, b, c;
+  a.detection.wm = BitVector::FromString("1100").value();
+  b.detection.wm = BitVector::FromString("1010").value();
+  c.detection.wm = BitVector::FromString("1001").value();
+  // Equal coverage: plain positionwise majority.
+  a.detection.positions_present = 10;
+  b.detection.positions_present = 10;
+  c.detection.positions_present = 10;
+  const BitVector combined =
+      MultiAttributeEmbedder::CombineDetections({a, b, c}, 4);
+  EXPECT_EQ(combined.ToString(), "1000");
+}
+
+TEST(MultiAttributeTest, CombineDetectionsWeightsByCoverage) {
+  // A fully-covered witness outvotes two barely-covered ones.
+  PairDetection strong, weak1, weak2;
+  strong.detection.wm = BitVector::FromString("1111").value();
+  strong.detection.positions_present = 100;
+  weak1.detection.wm = BitVector::FromString("0000").value();
+  weak1.detection.positions_present = 2;
+  weak2.detection.wm = BitVector::FromString("0000").value();
+  weak2.detection.positions_present = 2;
+  const BitVector combined =
+      MultiAttributeEmbedder::CombineDetections({strong, weak1, weak2}, 4);
+  EXPECT_EQ(combined.ToString(), "1111");
+}
+
+TEST(MultiAttributeTest, CombineEmptyIsZeros) {
+  EXPECT_EQ(MultiAttributeEmbedder::CombineDetections({}, 4), BitVector(4));
+}
+
+}  // namespace
+}  // namespace catmark

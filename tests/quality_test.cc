@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "quality/assessor.h"
+#include "quality/plugins.h"
+#include "quality/rollback.h"
+#include "relation/relation.h"
+
+namespace catmark {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Create({{"K", ColumnType::kInt64, false},
+                         {"A", ColumnType::kString, true}},
+                        "K")
+      .value();
+}
+
+Relation MakeRelation(const std::vector<std::string>& values) {
+  Relation rel(TestSchema());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_TRUE(rel.AppendRow({Value(static_cast<std::int64_t>(i)),
+                               Value(values[i])})
+                    .ok());
+  }
+  return rel;
+}
+
+// ------------------------------------------------------------- RollbackLog
+
+TEST(RollbackLogTest, UndoLastRestoresCell) {
+  Relation rel = MakeRelation({"a", "b"});
+  RollbackLog log;
+  log.Record({0, 1, Value("a"), Value("z")});
+  ASSERT_TRUE(rel.Set(0, 1, Value("z")).ok());
+  ASSERT_TRUE(log.UndoLast(rel).ok());
+  EXPECT_EQ(rel.Get(0, 1).AsString(), "a");
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(RollbackLogTest, UndoAllRestoresInReverseOrder) {
+  Relation rel = MakeRelation({"a"});
+  RollbackLog log;
+  log.Record({0, 1, Value("a"), Value("b")});
+  ASSERT_TRUE(rel.Set(0, 1, Value("b")).ok());
+  log.Record({0, 1, Value("b"), Value("c")});
+  ASSERT_TRUE(rel.Set(0, 1, Value("c")).ok());
+  ASSERT_TRUE(log.UndoAll(rel).ok());
+  EXPECT_EQ(rel.Get(0, 1).AsString(), "a");
+}
+
+TEST(RollbackLogTest, UndoOnEmptyFails) {
+  Relation rel = MakeRelation({"a"});
+  RollbackLog log;
+  EXPECT_FALSE(log.UndoLast(rel).ok());
+}
+
+// ---------------------------------------------------------------- Assessor
+
+/// Test plugin that vetoes any alteration writing the given value and
+/// counts every callback.
+class SpyPlugin final : public UsabilityMetricPlugin {
+ public:
+  explicit SpyPlugin(std::string veto_value)
+      : veto_value_(std::move(veto_value)) {}
+
+  std::string_view Name() const override { return "spy"; }
+  Status Begin(const Relation&) override {
+    ++begins;
+    return Status::OK();
+  }
+  Status OnAlteration(const Relation&, const AlterationEvent& event) override {
+    ++alterations;
+    if (event.new_value.is_string() &&
+        event.new_value.AsString() == veto_value_) {
+      return Status::ConstraintViolation("vetoed");
+    }
+    return Status::OK();
+  }
+  void OnRollback(const Relation&, const AlterationEvent&) override {
+    ++rollbacks;
+  }
+
+  int begins = 0;
+  int alterations = 0;
+  int rollbacks = 0;
+
+ private:
+  std::string veto_value_;
+};
+
+TEST(AssessorTest, AcceptedAlterationApplies) {
+  Relation rel = MakeRelation({"a", "b"});
+  QualityAssessor assessor;
+  auto spy = std::make_unique<SpyPlugin>("FORBIDDEN");
+  SpyPlugin* spy_ptr = spy.get();
+  assessor.AddPlugin(std::move(spy));
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("x")).ok());
+  EXPECT_EQ(rel.Get(0, 1).AsString(), "x");
+  EXPECT_EQ(assessor.accepted_count(), 1u);
+  EXPECT_EQ(assessor.vetoed_count(), 0u);
+  EXPECT_EQ(spy_ptr->alterations, 1);
+}
+
+TEST(AssessorTest, VetoRestoresCell) {
+  Relation rel = MakeRelation({"a"});
+  QualityAssessor assessor;
+  assessor.AddPlugin(std::make_unique<SpyPlugin>("FORBIDDEN"));
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  const Status s = assessor.ProposeAlteration(rel, 0, 1, Value("FORBIDDEN"));
+  EXPECT_TRUE(s.IsConstraintViolation());
+  EXPECT_EQ(rel.Get(0, 1).AsString(), "a");
+  EXPECT_EQ(assessor.vetoed_count(), 1u);
+  EXPECT_EQ(assessor.accepted_count(), 0u);
+}
+
+TEST(AssessorTest, VetoNotifiesEarlierPluginsToRollBack) {
+  Relation rel = MakeRelation({"a"});
+  QualityAssessor assessor;
+  auto first = std::make_unique<SpyPlugin>("NEVER");
+  SpyPlugin* first_ptr = first.get();
+  assessor.AddPlugin(std::move(first));                       // accepts
+  assessor.AddPlugin(std::make_unique<SpyPlugin>("BAD"));     // vetoes
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  EXPECT_FALSE(assessor.ProposeAlteration(rel, 0, 1, Value("BAD")).ok());
+  EXPECT_EQ(first_ptr->rollbacks, 1);
+}
+
+TEST(AssessorTest, RollbackAllUndoesEveryChange) {
+  Relation rel = MakeRelation({"a", "b", "c"});
+  QualityAssessor assessor;
+  auto spy = std::make_unique<SpyPlugin>("NEVER");
+  SpyPlugin* spy_ptr = spy.get();
+  assessor.AddPlugin(std::move(spy));
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  ASSERT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("x")).ok());
+  ASSERT_TRUE(assessor.ProposeAlteration(rel, 1, 1, Value("y")).ok());
+  ASSERT_TRUE(assessor.RollbackAll(rel).ok());
+  EXPECT_EQ(rel.Get(0, 1).AsString(), "a");
+  EXPECT_EQ(rel.Get(1, 1).AsString(), "b");
+  EXPECT_EQ(spy_ptr->rollbacks, 2);
+  EXPECT_EQ(assessor.accepted_count(), 0u);
+}
+
+TEST(AssessorTest, BeginResetsCounters) {
+  Relation rel = MakeRelation({"a"});
+  QualityAssessor assessor;
+  assessor.AddPlugin(std::make_unique<SpyPlugin>("BAD"));
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  (void)assessor.ProposeAlteration(rel, 0, 1, Value("BAD"));
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  EXPECT_EQ(assessor.vetoed_count(), 0u);
+}
+
+// -------------------------------------------------------- MaxAlterations
+
+TEST(MaxAlterationsTest, EnforcesBudget) {
+  Relation rel = MakeRelation({"a", "b", "c", "d"});
+  QualityAssessor assessor;
+  assessor.AddPlugin(std::make_unique<MaxAlterationsPlugin>(0.5));  // 2 of 4
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("x")).ok());
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 1, 1, Value("x")).ok());
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 2, 1, Value("x"))
+                  .IsConstraintViolation());
+}
+
+TEST(MaxAlterationsTest, RollbackRefundsBudget) {
+  Relation rel = MakeRelation({"a", "b"});
+  MaxAlterationsPlugin plugin(0.5);  // budget 1
+  ASSERT_TRUE(plugin.Begin(rel).ok());
+  AlterationEvent ev{0, 1, Value("a"), Value("x")};
+  ASSERT_TRUE(plugin.OnAlteration(rel, ev).ok());
+  plugin.OnRollback(rel, ev);
+  EXPECT_TRUE(plugin.OnAlteration(rel, ev).ok());  // budget freed again
+}
+
+TEST(MaxAlterationsTest, RejectsBadFraction) {
+  Relation rel = MakeRelation({"a"});
+  MaxAlterationsPlugin plugin(1.5);
+  EXPECT_FALSE(plugin.Begin(rel).ok());
+}
+
+// -------------------------------------------------------- HistogramDrift
+
+TEST(HistogramDriftTest, AllowsSmallDrift) {
+  Relation rel = MakeRelation({"a", "a", "b", "b", "c", "c"});
+  QualityAssessor assessor;
+  assessor.AddPlugin(std::make_unique<HistogramDriftPlugin>("A", 0.5));
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("b")).ok());
+}
+
+TEST(HistogramDriftTest, VetoesLargeDrift) {
+  Relation rel = MakeRelation({"a", "a", "b", "b"});
+  QualityAssessor assessor;
+  // L1 drift of one a->b move on 4 tuples is 2/4 = 0.5 > 0.4.
+  assessor.AddPlugin(std::make_unique<HistogramDriftPlugin>("A", 0.4));
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("b"))
+                  .IsConstraintViolation());
+  // And the veto left its internal tally unchanged: a small no-op change
+  // (a -> a) still passes.
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 1, 1, Value("a")).ok());
+}
+
+TEST(HistogramDriftTest, IgnoresOtherColumns) {
+  Relation rel = MakeRelation({"a", "b"});
+  HistogramDriftPlugin plugin("A", 0.0);
+  ASSERT_TRUE(plugin.Begin(rel).ok());
+  AlterationEvent ev{0, 0, Value(std::int64_t{0}), Value(std::int64_t{9})};
+  EXPECT_TRUE(plugin.OnAlteration(rel, ev).ok());
+}
+
+TEST(HistogramDriftTest, UnknownColumnFailsBegin) {
+  Relation rel = MakeRelation({"a"});
+  HistogramDriftPlugin plugin("NOPE", 0.1);
+  EXPECT_FALSE(plugin.Begin(rel).ok());
+}
+
+// ------------------------------------------------------ MinCategoryCount
+
+TEST(MinCategoryCountTest, VetoesEmptyingCategory) {
+  Relation rel = MakeRelation({"a", "b", "b"});
+  QualityAssessor assessor;
+  assessor.AddPlugin(std::make_unique<MinCategoryCountPlugin>("A", 1));
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  // "a" has exactly 1 occurrence; moving it away would empty the category.
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("b"))
+                  .IsConstraintViolation());
+  // "b" has 2; taking one is fine.
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 1, 1, Value("a")).ok());
+}
+
+TEST(MinCategoryCountTest, RollbackRestoresCounts) {
+  Relation rel = MakeRelation({"a", "b", "b"});
+  MinCategoryCountPlugin plugin("A", 1);
+  ASSERT_TRUE(plugin.Begin(rel).ok());
+  AlterationEvent ev{1, 1, Value("b"), Value("a")};
+  ASSERT_TRUE(plugin.OnAlteration(rel, ev).ok());
+  plugin.OnRollback(rel, ev);
+  // After rollback "b" is back to 2, so the same move is allowed again.
+  EXPECT_TRUE(plugin.OnAlteration(rel, ev).ok());
+}
+
+// -------------------------------------------------------- ForbiddenValue
+
+TEST(ForbiddenValueTest, VetoesListedValues) {
+  Relation rel = MakeRelation({"a"});
+  QualityAssessor assessor;
+  assessor.AddPlugin(std::make_unique<ForbiddenValuePlugin>(
+      "A", std::vector<Value>{Value("DISCONTINUED")}));
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("DISCONTINUED"))
+                  .IsConstraintViolation());
+  EXPECT_TRUE(assessor.ProposeAlteration(rel, 0, 1, Value("ok")).ok());
+}
+
+TEST(ForbiddenValueTest, OtherColumnsUnaffected) {
+  Relation rel = MakeRelation({"a"});
+  ForbiddenValuePlugin plugin("A", {Value("X")});
+  ASSERT_TRUE(plugin.Begin(rel).ok());
+  AlterationEvent ev{0, 0, Value(std::int64_t{0}), Value(std::int64_t{1})};
+  EXPECT_TRUE(plugin.OnAlteration(rel, ev).ok());
+}
+
+}  // namespace
+}  // namespace catmark

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "relation/query.h"
+#include "relation/relation.h"
+
+namespace catmark {
+namespace {
+
+Relation SalesLike() {
+  Relation rel(Schema::Create({{"K", ColumnType::kInt64, false},
+                               {"Dept", ColumnType::kString, true},
+                               {"Store", ColumnType::kInt64, true}},
+                              "K")
+                   .value());
+  const struct {
+    const char* dept;
+    std::int64_t store;
+  } rows[] = {{"GROCERY", 1}, {"GROCERY", 1}, {"GROCERY", 2}, {"DAIRY", 1},
+              {"DAIRY", 2},   {"TOYS", 2},    {"TOYS", 2},    {"TOYS", 2}};
+  std::int64_t k = 0;
+  for (const auto& r : rows) {
+    rel.AppendRowUnchecked(
+        {Value(k++), Value(std::string(r.dept)), Value(r.store)});
+  }
+  return rel;
+}
+
+TEST(QueryTest, CountWhere) {
+  const Relation rel = SalesLike();
+  EXPECT_EQ(CountWhere(rel, {"Dept", Value("GROCERY")}).value(), 3u);
+  EXPECT_EQ(CountWhere(rel, {"Dept", Value("TOYS")}).value(), 3u);
+  EXPECT_EQ(CountWhere(rel, {"Dept", Value("MISSING")}).value(), 0u);
+  EXPECT_EQ(CountWhere(rel, {"Store", Value(std::int64_t{2})}).value(), 5u);
+}
+
+TEST(QueryTest, CountWhereUnknownColumnFails) {
+  EXPECT_FALSE(CountWhere(SalesLike(), {"Nope", Value("x")}).ok());
+}
+
+TEST(QueryTest, CountWhereBoth) {
+  const Relation rel = SalesLike();
+  EXPECT_EQ(CountWhereBoth(rel, {"Dept", Value("GROCERY")},
+                           {"Store", Value(std::int64_t{1})})
+                .value(),
+            2u);
+  EXPECT_EQ(CountWhereBoth(rel, {"Dept", Value("TOYS")},
+                           {"Store", Value(std::int64_t{1})})
+                .value(),
+            0u);
+}
+
+TEST(QueryTest, RuleConfidence) {
+  const Relation rel = SalesLike();
+  // P(Dept=TOYS | Store=2) = 3/5.
+  EXPECT_NEAR(RuleConfidence(rel, {"Dept", Value("TOYS")},
+                             {"Store", Value(std::int64_t{2})})
+                  .value(),
+              0.6, 1e-12);
+  // Antecedent never holds -> 0.
+  EXPECT_DOUBLE_EQ(RuleConfidence(rel, {"Dept", Value("TOYS")},
+                                  {"Store", Value(std::int64_t{99})})
+                       .value(),
+                   0.0);
+}
+
+TEST(QueryTest, RuleSupport) {
+  const Relation rel = SalesLike();
+  // support(Store=2 AND Dept=TOYS) = 3/8.
+  EXPECT_NEAR(RuleSupport(rel, {"Dept", Value("TOYS")},
+                          {"Store", Value(std::int64_t{2})})
+                  .value(),
+              3.0 / 8.0, 1e-12);
+}
+
+TEST(QueryTest, EmptyRelation) {
+  Relation rel(SalesLike().schema());
+  EXPECT_EQ(CountWhere(rel, {"Dept", Value("GROCERY")}).value(), 0u);
+  EXPECT_DOUBLE_EQ(RuleSupport(rel, {"Dept", Value("A")},
+                               {"Store", Value(std::int64_t{1})})
+                       .value(),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace catmark

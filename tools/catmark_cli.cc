@@ -1,0 +1,356 @@
+// catmark — command-line rights protection for categorical CSV data.
+//
+//   catmark gen     --out data.csv --n 10000 [--items 500] [--sales]
+//   catmark embed   --in data.csv --out marked.csv --schema <spec>
+//                   --key <passphrase> --wm <bits> [--e 60]
+//                   [--key-attr K] [--target-attr A] [--constraints file.cql]
+//                   [--certificate-out cert.txt]
+//   catmark detect  --in suspect.csv --schema <spec> --key <passphrase>
+//                   ( --certificate cert.txt
+//                   | --wm <bits> --payload-length <L> [--e 60]
+//                     [--key-attr K] [--target-attr A] ) [--alpha 0.001]
+//   catmark attack  --in marked.csv --out attacked.csv --schema <spec>
+//                   --type alter|subset|add|shuffle|remap
+//                   [--column A] [--fraction 0.3] [--seed 1]
+//   catmark bandwidth --in data.csv --schema <spec> [--e 60] [--q 0.01]
+//
+// <spec> declares the CSV columns: comma-separated `name:type[:flag]`,
+// type in {int,double,str}, flag in {pk,cat}. Example:
+//   --schema "Visit_Nbr:int:pk,Item_Nbr:int:cat,Dept_Desc:str:cat"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/catmark.h"
+#include "common/str_util.h"
+
+namespace catmark {
+namespace {
+
+// ------------------------------------------------------------------- flags
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+        values_[arg.substr(2)] = argv[++i];
+      } else if (arg.rfind("--", 0) == 0) {
+        values_[arg.substr(2)] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  double GetDouble(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  std::uint64_t GetUint(const std::string& name,
+                        std::uint64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "catmark: %s\n", message.c_str());
+  return 1;
+}
+
+// ------------------------------------------------------------ schema specs
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Column> columns;
+  std::string pk;
+  for (const std::string& field : StrSplit(spec, ',')) {
+    const std::vector<std::string> parts = StrSplit(field, ':');
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument("bad schema field '" + field +
+                                     "' (want name:type[:flag])");
+    }
+    Column col;
+    col.name = std::string(StrTrim(parts[0]));
+    const std::string type(StrTrim(parts[1]));
+    if (type == "int") {
+      col.type = ColumnType::kInt64;
+    } else if (type == "double") {
+      col.type = ColumnType::kDouble;
+    } else if (type == "str") {
+      col.type = ColumnType::kString;
+    } else {
+      return Status::InvalidArgument("unknown type '" + type + "'");
+    }
+    if (parts.size() == 3) {
+      const std::string flag(StrTrim(parts[2]));
+      if (flag == "pk") {
+        pk = col.name;
+      } else if (flag == "cat") {
+        col.categorical = true;
+      } else {
+        return Status::InvalidArgument("unknown flag '" + flag + "'");
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+  return Schema::Create(std::move(columns), pk);
+}
+
+Result<Relation> LoadCsv(const Flags& flags) {
+  const std::string path = flags.Get("in");
+  if (path.empty()) return Status::InvalidArgument("--in is required");
+  CATMARK_ASSIGN_OR_RETURN(const Schema schema,
+                           ParseSchemaSpec(flags.Get("schema")));
+  return ReadCsvFile(path, schema);
+}
+
+Status SaveCsv(const Relation& rel, const Flags& flags) {
+  const std::string path = flags.Get("out");
+  if (path.empty()) return Status::InvalidArgument("--out is required");
+  return WriteCsvFile(rel, path);
+}
+
+// ------------------------------------------------------------- subcommands
+
+int RunGen(const Flags& flags) {
+  Relation rel;
+  if (flags.Has("sales")) {
+    SalesGenConfig config;
+    config.num_tuples = flags.GetUint("n", 10000);
+    config.num_items = flags.GetUint("items", 500);
+    config.seed = flags.GetUint("seed", 42);
+    rel = GenerateItemScan(config);
+    std::printf("schema spec: Visit_Nbr:int:pk,Item_Nbr:int:cat,"
+                "Store_Nbr:int:cat,Dept_Desc:str:cat,Unit_Qty:int,"
+                "Sale_Amount:double\n");
+  } else {
+    KeyedCategoricalConfig config;
+    config.num_tuples = flags.GetUint("n", 10000);
+    config.domain_size = flags.GetUint("items", 500);
+    config.seed = flags.GetUint("seed", 42);
+    rel = GenerateKeyedCategorical(config);
+    std::printf("schema spec: K:int:pk,A:str:cat\n");
+  }
+  if (const Status s = SaveCsv(rel, flags); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("wrote %zu tuples to %s\n", rel.NumRows(),
+              flags.Get("out").c_str());
+  return 0;
+}
+
+int RunEmbed(const Flags& flags) {
+  Result<Relation> rel = LoadCsv(flags);
+  if (!rel.ok()) return Fail(rel.status().ToString());
+  const std::string key = flags.Get("key");
+  if (key.empty()) return Fail("--key is required");
+  Result<BitVector> wm = BitVector::FromString(flags.Get("wm"));
+  if (!wm.ok() || wm.value().empty()) {
+    return Fail("--wm must be a non-empty bit string, e.g. 1011001110");
+  }
+
+  WatermarkParams params;
+  params.e = flags.GetUint("e", 60);
+  EmbedOptions options;
+  options.key_attr = flags.Get("key-attr", "K");
+  options.target_attr = flags.Get("target-attr", "A");
+
+  QualityAssessor assessor;
+  if (flags.Has("constraints")) {
+    std::ifstream f(flags.Get("constraints"));
+    if (!f) return Fail("cannot read " + flags.Get("constraints"));
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const Result<std::size_t> n =
+        CompileConstraints(ss.str(), rel.value().schema(), assessor);
+    if (!n.ok()) return Fail(n.status().ToString());
+    std::printf("compiled %zu quality constraints\n", n.value());
+    if (const Status s = assessor.Begin(rel.value()); !s.ok()) {
+      return Fail(s.ToString());
+    }
+  }
+
+  const WatermarkKeySet keys = WatermarkKeySet::FromPassphrase(key);
+  const Embedder embedder(keys, params);
+  Result<EmbedReport> report =
+      embedder.Embed(rel.value(), options, wm.value(),
+                     flags.Has("constraints") ? &assessor : nullptr);
+  if (!report.ok()) return Fail(report.status().ToString());
+  if (const Status s = SaveCsv(rel.value(), flags); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf(
+      "embedded %zu-bit mark: %zu fit tuples, %zu altered (%.3f%% of data), "
+      "%zu vetoed by constraints\n"
+      "detector inputs: --payload-length %zu --e %llu --wm-bits %zu\n",
+      wm.value().size(), report->fit_tuples, report->altered_tuples,
+      100.0 * report->alteration_fraction, report->skipped_by_quality,
+      report->payload_length, static_cast<unsigned long long>(params.e),
+      wm.value().size());
+
+  // --certificate-out writes everything detection needs (plus the key
+  // commitment) to one file; `detect --certificate` consumes it.
+  if (flags.Has("certificate-out")) {
+    const WatermarkCertificate cert = WatermarkCertificate::Create(
+        keys, params, options, report.value(), wm.value(), {},
+        flags.Get("in"));
+    std::ofstream f(flags.Get("certificate-out"));
+    if (!f) return Fail("cannot write " + flags.Get("certificate-out"));
+    f << cert.Serialize();
+    std::printf("wrote certificate to %s\n",
+                flags.Get("certificate-out").c_str());
+  }
+  return 0;
+}
+
+int RunDetectWithCertificate(const Flags& flags) {
+  Result<Relation> rel = LoadCsv(flags);
+  if (!rel.ok()) return Fail(rel.status().ToString());
+  std::ifstream f(flags.Get("certificate"));
+  if (!f) return Fail("cannot read " + flags.Get("certificate"));
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  Result<WatermarkCertificate> cert =
+      WatermarkCertificate::Deserialize(ss.str());
+  if (!cert.ok()) return Fail(cert.status().ToString());
+  const std::string key = flags.Get("key");
+  if (key.empty()) return Fail("--key is required");
+  Result<CertifiedDetection> result = DetectWithCertificate(
+      rel.value(), cert.value(), WatermarkKeySet::FromPassphrase(key),
+      flags.GetDouble("alpha", 1e-3));
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf(
+      "key commitment verified; matched %zu/%zu bits (threshold %zu), "
+      "p-value %.3e\nownership claim: %s\n",
+      result->decision.matched_bits, cert->wm.size(),
+      result->decision.threshold, result->decision.p_value,
+      result->decision.owned ? "SUPPORTED" : "NOT SUPPORTED");
+  return result->decision.owned ? 0 : 2;
+}
+
+int RunDetect(const Flags& flags) {
+  if (flags.Has("certificate")) return RunDetectWithCertificate(flags);
+  Result<Relation> rel = LoadCsv(flags);
+  if (!rel.ok()) return Fail(rel.status().ToString());
+  const std::string key = flags.Get("key");
+  if (key.empty()) return Fail("--key is required");
+  Result<BitVector> wm = BitVector::FromString(flags.Get("wm"));
+  if (!wm.ok() || wm.value().empty()) {
+    return Fail("--wm must be the owner's mark bits");
+  }
+
+  WatermarkParams params;
+  params.e = flags.GetUint("e", 60);
+  DetectOptions options;
+  options.key_attr = flags.Get("key-attr", "K");
+  options.target_attr = flags.Get("target-attr", "A");
+  options.payload_length =
+      static_cast<std::size_t>(flags.GetUint("payload-length", 0));
+
+  const Detector detector(WatermarkKeySet::FromPassphrase(key), params);
+  Result<DetectionResult> detection =
+      detector.Detect(rel.value(), options, wm.value().size());
+  if (!detection.ok()) return Fail(detection.status().ToString());
+
+  const OwnershipDecision decision = DecideOwnership(
+      wm.value(), detection->wm, flags.GetDouble("alpha", 1e-3));
+  std::printf("decoded mark : %s\n", detection->wm.ToString().c_str());
+  std::printf("owner's mark : %s\n", wm.value().ToString().c_str());
+  std::printf(
+      "matched %zu/%zu bits (threshold %zu at alpha %.1e), p-value %.3e\n",
+      decision.matched_bits, wm.value().size(), decision.threshold,
+      decision.significance, decision.p_value);
+  std::printf("ownership claim: %s\n",
+              decision.owned ? "SUPPORTED" : "NOT SUPPORTED");
+  return decision.owned ? 0 : 2;
+}
+
+int RunAttack(const Flags& flags) {
+  Result<Relation> rel = LoadCsv(flags);
+  if (!rel.ok()) return Fail(rel.status().ToString());
+  const std::string type = flags.Get("type");
+  const double fraction = flags.GetDouble("fraction", 0.3);
+  const std::uint64_t seed = flags.GetUint("seed", 1);
+  const std::string column = flags.Get("column", "A");
+
+  Result<Relation> out = Status::InvalidArgument(
+      "--type must be alter|subset|add|shuffle|remap");
+  if (type == "alter") {
+    out = SubsetAlterationAttack(rel.value(), column, fraction, seed);
+  } else if (type == "subset") {
+    out = HorizontalPartitionAttack(rel.value(), 1.0 - fraction, seed);
+  } else if (type == "add") {
+    out = SubsetAdditionAttack(rel.value(), fraction, seed);
+  } else if (type == "shuffle") {
+    out = ResortAttack(rel.value(), seed);
+  } else if (type == "remap") {
+    Result<RemapAttackResult> remap =
+        BijectiveRemapAttack(rel.value(), column, seed);
+    if (!remap.ok()) return Fail(remap.status().ToString());
+    out = std::move(remap.value().relation);
+  }
+  if (!out.ok()) return Fail(out.status().ToString());
+  if (const Status s = SaveCsv(out.value(), flags); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("%s attack: %zu -> %zu tuples, wrote %s\n", type.c_str(),
+              rel.value().NumRows(), out.value().NumRows(),
+              flags.Get("out").c_str());
+  return 0;
+}
+
+int RunBandwidth(const Flags& flags) {
+  Result<Relation> rel = LoadCsv(flags);
+  if (!rel.ok()) return Fail(rel.status().ToString());
+  Result<std::vector<AttributeBandwidth>> all = AnalyzeRelationBandwidth(
+      rel.value(), flags.GetUint("e", 60), flags.GetDouble("q", 0.01));
+  if (!all.ok()) return Fail(all.status().ToString());
+  std::printf("%-14s %8s %10s %12s %14s %12s\n", "attribute", "nA",
+              "entropy", "direct bits", "assoc bits", "freq bits");
+  for (const AttributeBandwidth& bw : all.value()) {
+    std::printf("%-14s %8zu %10.2f %12.2f %14zu %12zu\n",
+                bw.attribute.c_str(), bw.domain_size, bw.entropy_bits,
+                bw.direct_domain_bits, bw.association_bits,
+                bw.frequency_bits);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: catmark <gen|embed|detect|attack|bandwidth> [--flags]\n"
+      "see the header of tools/catmark_cli.cc for full flag reference\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "gen") return RunGen(flags);
+  if (command == "embed") return RunEmbed(flags);
+  if (command == "detect") return RunDetect(flags);
+  if (command == "attack") return RunAttack(flags);
+  if (command == "bandwidth") return RunBandwidth(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace catmark
+
+int main(int argc, char** argv) { return catmark::Main(argc, argv); }
