@@ -15,8 +15,7 @@
 namespace catmark {
 namespace {
 
-void Run() {
-  const ExperimentConfig config = ExperimentConfig::FromEnv();
+void Run(const ExperimentConfig& config) {
   PrintTableTitle(
       "Ablation: additive watermark attack — owner's mark vs stacked "
       "adversarial marks (e=30)");
@@ -83,7 +82,7 @@ void Run() {
 }  // namespace
 }  // namespace catmark
 
-int main() {
-  catmark::Run();
+int main(int argc, char** argv) {
+  catmark::Run(catmark::ExperimentConfig::FromArgs(argc, argv));
   return 0;
 }

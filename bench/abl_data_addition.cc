@@ -83,8 +83,7 @@ CaseResult RunCase(bool alter, double padd, double loss,
   return {100.0 * match_sum / n, altered_sum / n, added_sum / n};
 }
 
-void Run() {
-  const ExperimentConfig config = ExperimentConfig::FromEnv();
+void Run(const ExperimentConfig& config) {
   PrintTableTitle(
       "Ablation: data-addition embedding (Section 4.6) under 70% data loss");
   std::printf("N=%zu  |wm|=%zu  passes=%zu  e=60\n", config.num_tuples,
@@ -119,7 +118,7 @@ void Run() {
 }  // namespace
 }  // namespace catmark
 
-int main() {
-  catmark::Run();
+int main(int argc, char** argv) {
+  catmark::Run(catmark::ExperimentConfig::FromArgs(argc, argv));
   return 0;
 }

@@ -10,8 +10,7 @@
 namespace catmark {
 namespace {
 
-void Run() {
-  const ExperimentConfig config = ExperimentConfig::FromEnv();
+void Run(const ExperimentConfig& config) {
   PrintTableTitle("Ablation: ECC family vs random-alteration attack (e=35)");
   std::printf("N=%zu  |wm|=%zu  passes=%zu\n", config.num_tuples,
               config.wm_bits, config.passes);
@@ -32,6 +31,15 @@ void Run() {
         // positions (otherwise most of the channel is wasted and clean
         // decoding already fails); this is the fair baseline.
         params.payload_length = config.wm_bits;
+      } else {
+        // Small-N runs (CI smoke) can derive a bandwidth N/e below the
+        // code's minimum; pin the payload to the floor so every family
+        // stays runnable at any N.
+        const std::size_t min_payload =
+            CreateEcc(ecc)->MinPayloadLength(config.wm_bits);
+        const std::size_t derived = DerivePayloadLength(
+            config.num_tuples, params.e, config.wm_bits);
+        if (derived < min_payload) params.payload_length = min_payload;
       }
       const TrialOutcome outcome = RunAveragedTrial(
           config, params,
@@ -52,7 +60,7 @@ void Run() {
 }  // namespace
 }  // namespace catmark
 
-int main() {
-  catmark::Run();
+int main(int argc, char** argv) {
+  catmark::Run(catmark::ExperimentConfig::FromArgs(argc, argv));
   return 0;
 }

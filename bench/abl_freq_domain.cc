@@ -122,8 +122,7 @@ void RemapRecoveryCase(const ExperimentConfig& config) {
       "recovery on this skewed (Zipf 1.1) attribute.\n");
 }
 
-void Run() {
-  const ExperimentConfig config = ExperimentConfig::FromEnv();
+void Run(const ExperimentConfig& config) {
   FreqChannel(config);
   RemapRecoveryCase(config);
 }
@@ -131,7 +130,7 @@ void Run() {
 }  // namespace
 }  // namespace catmark
 
-int main() {
-  catmark::Run();
+int main(int argc, char** argv) {
+  catmark::Run(catmark::ExperimentConfig::FromArgs(argc, argv));
   return 0;
 }

@@ -53,8 +53,7 @@ double RunCase(bool use_closure, const std::vector<std::string>& kept_columns,
   return match_sum / static_cast<double>(config.passes);
 }
 
-void Run() {
-  ExperimentConfig config = ExperimentConfig::FromEnv();
+void Run(ExperimentConfig config) {
   // The sales relation is wider than the harness default; cap the passes a
   // little for the closure case which runs 6 embedding passes per trial.
   PrintTableTitle(
@@ -90,7 +89,7 @@ void Run() {
 }  // namespace
 }  // namespace catmark
 
-int main() {
-  catmark::Run();
+int main(int argc, char** argv) {
+  catmark::Run(catmark::ExperimentConfig::FromArgs(argc, argv));
   return 0;
 }

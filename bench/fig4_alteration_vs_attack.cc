@@ -12,8 +12,7 @@
 namespace catmark {
 namespace {
 
-void Run() {
-  const ExperimentConfig config = ExperimentConfig::FromEnv();
+void Run(const ExperimentConfig& config) {
   PrintTableTitle(
       "Figure 4: watermark alteration (%) vs attack size (random "
       "alterations)");
@@ -46,7 +45,7 @@ void Run() {
 }  // namespace
 }  // namespace catmark
 
-int main() {
-  catmark::Run();
+int main(int argc, char** argv) {
+  catmark::Run(catmark::ExperimentConfig::FromArgs(argc, argv));
   return 0;
 }

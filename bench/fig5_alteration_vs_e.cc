@@ -11,8 +11,7 @@
 namespace catmark {
 namespace {
 
-void Run() {
-  const ExperimentConfig config = ExperimentConfig::FromEnv();
+void Run(const ExperimentConfig& config) {
   PrintTableTitle("Figure 5: watermark alteration (%) vs e");
   std::printf("N=%zu  |wm|=%zu  passes=%zu\n", config.num_tuples,
               config.wm_bits, config.passes);
@@ -49,7 +48,7 @@ void Run() {
 }  // namespace
 }  // namespace catmark
 
-int main() {
-  catmark::Run();
+int main(int argc, char** argv) {
+  catmark::Run(catmark::ExperimentConfig::FromArgs(argc, argv));
   return 0;
 }

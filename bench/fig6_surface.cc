@@ -10,8 +10,7 @@
 namespace catmark {
 namespace {
 
-void Run() {
-  ExperimentConfig config = ExperimentConfig::FromEnv();
+void Run(ExperimentConfig config) {
   PrintTableTitle("Figure 6: mark loss (%) surface over (attack size, e)");
   std::printf("N=%zu  |wm|=%zu  passes=%zu\n", config.num_tuples,
               config.wm_bits, config.passes);
@@ -48,7 +47,7 @@ void Run() {
 }  // namespace
 }  // namespace catmark
 
-int main() {
-  catmark::Run();
+int main(int argc, char** argv) {
+  catmark::Run(catmark::ExperimentConfig::FromArgs(argc, argv));
   return 0;
 }

@@ -12,8 +12,7 @@
 namespace catmark {
 namespace {
 
-void Run() {
-  const ExperimentConfig config = ExperimentConfig::FromEnv();
+void Run(const ExperimentConfig& config) {
   PrintTableTitle("Figure 7: watermark alteration (%) vs data loss");
   std::printf("N=%zu  |wm|=%zu  passes=%zu  e=60\n", config.num_tuples,
               config.wm_bits, config.passes);
@@ -43,7 +42,7 @@ void Run() {
 }  // namespace
 }  // namespace catmark
 
-int main() {
-  catmark::Run();
+int main(int argc, char** argv) {
+  catmark::Run(catmark::ExperimentConfig::FromArgs(argc, argv));
   return 0;
 }

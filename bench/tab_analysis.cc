@@ -74,14 +74,13 @@ void ExpectedAlteration() {
                     2)});
 }
 
-void MonteCarloCrossCheck() {
+void MonteCarloCrossCheck(const ExperimentConfig& config) {
   // Empirical counterpart: run the real embedder + 20% random-alteration
   // attack and compare the measured mean mark alteration against the
   // closed-form expectation with r = (a/e) * p flipped payload bits
   // (uniform redraw over the domain flips an embedded LSB w.p. ~1/2).
   PrintTableTitle(
       "Section 4.4 (e): Monte-Carlo cross-check of the alteration model");
-  ExperimentConfig config = ExperimentConfig::FromEnv();
   WatermarkParams params;
   params.e = 60;
   const double attack = 0.20;
@@ -112,18 +111,18 @@ void MonteCarloCrossCheck() {
       "agreement is expected in order of magnitude, not digit-for-digit.\n");
 }
 
-void Run() {
+void Run(const ExperimentConfig& config) {
   FalsePositives();
   AttackSuccess();
   MinimumE();
   ExpectedAlteration();
-  MonteCarloCrossCheck();
+  MonteCarloCrossCheck(config);
 }
 
 }  // namespace
 }  // namespace catmark
 
-int main() {
-  catmark::Run();
+int main(int argc, char** argv) {
+  catmark::Run(catmark::ExperimentConfig::FromArgs(argc, argv));
   return 0;
 }

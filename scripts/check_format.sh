@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# clang-format check over the C++ files changed relative to a base ref.
+# The repo is formatted incrementally: only files a PR touches must be
+# clang-format clean, so pre-existing files never block unrelated work.
+#   scripts/check_format.sh [base_ref]   (default: origin/main)
+set -euo pipefail
+
+base_ref=${1:-origin/main}
+clang_format=${CLANG_FORMAT:-clang-format}
+
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "error: $clang_format not found (set CLANG_FORMAT=...)" >&2
+  exit 1
+fi
+
+merge_base=$(git merge-base "$base_ref" HEAD 2>/dev/null || echo "$base_ref")
+mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$merge_base" HEAD -- \
+    '*.cc' '*.h' '*.cpp' '*.hpp' | sort -u)
+
+if [ ${#files[@]} -eq 0 ]; then
+  echo "no C++ files changed vs $merge_base; nothing to check"
+  exit 0
+fi
+
+status=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || continue
+  if ! "$clang_format" --dry-run --Werror "$f" 2>/dev/null; then
+    echo "needs format: $f" >&2
+    "$clang_format" --dry-run "$f" 2>&1 | head -20 >&2 || true
+    status=1
+  fi
+done
+
+if [ $status -ne 0 ]; then
+  echo "run: $clang_format -i <files> (style: .clang-format)" >&2
+fi
+exit $status

@@ -1,7 +1,10 @@
 #include "exp/harness.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/check.h"
 #include "core/detector.h"
@@ -20,6 +23,57 @@ std::size_t EnvSizeT(const char* name, std::size_t fallback) {
   return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
 }
 
+[[noreturn]] void PrintUsageAndExit(const char* argv0, int exit_code) {
+  std::fprintf(
+      exit_code == 0 ? stdout : stderr,
+      "Usage: %s [--n=<tuples>] [--passes=<k>] [--domain=<size>]\n"
+      "          [--wm-bits=<b>] [--zipf=<s>] [--seed=<s>] [--help]\n"
+      "Flags override the CATMARK_N / CATMARK_PASSES / CATMARK_DOMAIN /\n"
+      "CATMARK_FULL environment variables.\n",
+      argv0);
+  std::exit(exit_code);
+}
+
+std::size_t ParseSizeTOrDie(const char* flag, const char* value,
+                            const char* argv0) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  // Leading digit required: strtoull itself would skip whitespace and
+  // wrap negative input through 2^64.
+  if (!std::isdigit(static_cast<unsigned char>(*value)) || end == nullptr ||
+      *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "Invalid value for %s: '%s'\n", flag, value);
+    PrintUsageAndExit(argv0, 2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+double ParseDoubleOrDie(const char* flag, const char* value,
+                        const char* argv0) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (*value == '\0' || end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "Invalid value for %s: '%s'\n", flag, value);
+    PrintUsageAndExit(argv0, 2);
+  }
+  return parsed;
+}
+
+/// Matches `--name=value` or `--name value` (consuming the next argv slot);
+/// returns nullptr when `arg` is not `name`.
+const char* FlagValue(const char* name, int argc, char** argv, int* i) {
+  const char* arg = argv[*i];
+  const std::size_t name_len = std::strlen(name);
+  if (std::strncmp(arg, name, name_len) != 0) return nullptr;
+  if (arg[name_len] == '=') return arg + name_len + 1;
+  if (arg[name_len] == '\0') {
+    if (*i + 1 >= argc) PrintUsageAndExit(argv[0], 2);
+    return argv[++*i];
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 ExperimentConfig ExperimentConfig::FromEnv() {
@@ -31,6 +85,40 @@ ExperimentConfig ExperimentConfig::FromEnv() {
   config.num_tuples = EnvSizeT("CATMARK_N", config.num_tuples);
   config.passes = EnvSizeT("CATMARK_PASSES", config.passes);
   config.domain_size = EnvSizeT("CATMARK_DOMAIN", config.domain_size);
+  return config;
+}
+
+ExperimentConfig ExperimentConfig::FromArgs(int argc, char** argv) {
+  ExperimentConfig config = FromEnv();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      PrintUsageAndExit(argv[0], 0);
+    }
+    const char* value = nullptr;
+    if ((value = FlagValue("--n", argc, argv, &i)) != nullptr) {
+      config.num_tuples = ParseSizeTOrDie("--n", value, argv[0]);
+    } else if ((value = FlagValue("--passes", argc, argv, &i)) != nullptr) {
+      config.passes = ParseSizeTOrDie("--passes", value, argv[0]);
+    } else if ((value = FlagValue("--domain", argc, argv, &i)) != nullptr) {
+      config.domain_size = ParseSizeTOrDie("--domain", value, argv[0]);
+    } else if ((value = FlagValue("--wm-bits", argc, argv, &i)) != nullptr) {
+      config.wm_bits = ParseSizeTOrDie("--wm-bits", value, argv[0]);
+    } else if ((value = FlagValue("--zipf", argc, argv, &i)) != nullptr) {
+      config.zipf_s = ParseDoubleOrDie("--zipf", value, argv[0]);
+    } else if ((value = FlagValue("--seed", argc, argv, &i)) != nullptr) {
+      config.base_seed = ParseSizeTOrDie("--seed", value, argv[0]);
+    } else {
+      std::fprintf(stderr, "Unknown flag: %s\n", argv[i]);
+      PrintUsageAndExit(argv[0], 2);
+    }
+  }
+  if (config.num_tuples == 0 || config.passes == 0 || config.domain_size < 2 ||
+      config.wm_bits == 0 || !(config.zipf_s >= 0.0)) {
+    std::fprintf(stderr, "Invalid configuration: need n > 0, passes > 0, "
+                         "domain >= 2, wm-bits > 0, zipf >= 0\n");
+    std::exit(2);
+  }
   return config;
 }
 

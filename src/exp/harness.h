@@ -31,6 +31,13 @@ struct ExperimentConfig {
   std::uint64_t base_seed = 20040301;  // ICDE 2004, March
 
   static ExperimentConfig FromEnv();
+
+  /// FromEnv() plus command-line overrides: --n=<tuples>, --passes=<k>,
+  /// --domain=<size>, --wm-bits=<b>, --zipf=<s>, --seed=<s>. Flags win over
+  /// the environment, so CI can smoke-run every bench with a tiny
+  /// `--n ... --passes 1` regardless of the ambient configuration.
+  /// Unknown flags abort with a usage message; --help prints it and exits.
+  static ExperimentConfig FromArgs(int argc, char** argv);
 };
 
 /// An attack to run between embed and detect: (marked relation, seed) ->
