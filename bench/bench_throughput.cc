@@ -1,0 +1,185 @@
+// Embed/detect pipeline throughput: serial (1 worker) versus parallel
+// (auto worker count) on the standard keyed categorical relation, verifying
+// on the fly that both configurations produce bit-identical results. This is
+// the perf trajectory for the ROADMAP's "as fast as the hardware allows"
+// goal; the acceptance bar is >= 4x detection throughput at N = 1M on
+// 8 cores.
+//
+//   bench_throughput [--n N] [--passes K] [--domain D] ...
+//
+// Environment:
+//   CATMARK_THREADS      parallel worker count (default: hardware threads)
+//   CATMARK_BENCH_JSON   when set, write the machine-readable report there
+//                        (the BENCH_throughput.json emitted by scripts/)
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "core/detector.h"
+#include "core/embedder.h"
+#include "exp/harness.h"
+#include "gen/sales_gen.h"
+
+namespace catmark {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Measurement {
+  double serial_tps = 0.0;    // tuples/second, best of `passes` runs
+  double parallel_tps = 0.0;
+  double speedup = 0.0;
+};
+
+int Run(const ExperimentConfig& config) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = config.num_tuples;
+  gen.domain_size = config.domain_size;
+  gen.zipf_s = config.zipf_s;
+  gen.seed = config.base_seed;
+  const Relation original = GenerateKeyedCategorical(gen);
+  const double n = static_cast<double>(original.NumRows());
+
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(config.base_seed);
+  const BitVector wm = MakeWatermark(config.wm_bits, config.base_seed);
+  WatermarkParams serial_params;
+  serial_params.e = 60;
+  serial_params.num_threads = 1;
+  WatermarkParams parallel_params = serial_params;
+  parallel_params.num_threads = DefaultThreadCount();
+
+  EmbedOptions embed_options;
+  embed_options.key_attr = "K";
+  embed_options.target_attr = "A";
+
+  Measurement embed;
+  Relation marked = original;
+  EmbedReport report;
+  for (std::size_t pass = 0; pass < config.passes; ++pass) {
+    {
+      Relation rel = original;
+      const auto start = Clock::now();
+      Result<EmbedReport> r =
+          Embedder(keys, serial_params).Embed(rel, embed_options, wm);
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      report = std::move(r).value();
+      marked = std::move(rel);
+      if (n / secs > embed.serial_tps) embed.serial_tps = n / secs;
+    }
+    {
+      Relation rel = original;
+      const auto start = Clock::now();
+      Result<EmbedReport> r =
+          Embedder(keys, parallel_params).Embed(rel, embed_options, wm);
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      CATMARK_CHECK_EQ(r.value().altered_tuples, report.altered_tuples)
+          << "parallel embed diverged from serial";
+      CATMARK_CHECK(rel.SameContent(marked))
+          << "parallel embed produced different data";
+      if (n / secs > embed.parallel_tps) embed.parallel_tps = n / secs;
+    }
+  }
+  embed.speedup = embed.parallel_tps / embed.serial_tps;
+
+  DetectOptions detect_options;
+  detect_options.key_attr = "K";
+  detect_options.target_attr = "A";
+  detect_options.payload_length = report.payload_length;
+  detect_options.domain = report.domain;
+
+  Measurement detect;
+  DetectionResult serial_detection;
+  for (std::size_t pass = 0; pass < config.passes; ++pass) {
+    {
+      const auto start = Clock::now();
+      Result<DetectionResult> r = Detector(keys, serial_params)
+                                      .Detect(marked, detect_options,
+                                              wm.size());
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      serial_detection = std::move(r).value();
+      if (n / secs > detect.serial_tps) detect.serial_tps = n / secs;
+    }
+    {
+      const auto start = Clock::now();
+      Result<DetectionResult> r = Detector(keys, parallel_params)
+                                      .Detect(marked, detect_options,
+                                              wm.size());
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      CATMARK_CHECK(r.value().wm == serial_detection.wm)
+          << "parallel detect decoded a different mark";
+      CATMARK_CHECK_EQ(r.value().usable_votes, serial_detection.usable_votes)
+          << "parallel detect tallied different votes";
+      if (n / secs > detect.parallel_tps) detect.parallel_tps = n / secs;
+    }
+  }
+  detect.speedup = detect.parallel_tps / detect.serial_tps;
+  // Tiny smoke configurations may not cover every payload position; only a
+  // fully-filled channel is required to round-trip exactly.
+  if (serial_detection.positions_present == serial_detection.payload_length) {
+    CATMARK_CHECK(serial_detection.wm == wm)
+        << "round trip failed — bench results would be meaningless";
+  }
+
+  PrintTableTitle("embed/detect pipeline throughput (tuples/sec, best of "
+                  "passes)");
+  PrintTableHeader({"stage", "serial", "parallel", "speedup", "threads"});
+  PrintTableRow({"embed", FormatDouble(embed.serial_tps, 0),
+                 FormatDouble(embed.parallel_tps, 0),
+                 FormatDouble(embed.speedup, 2),
+                 std::to_string(parallel_params.num_threads)});
+  PrintTableRow({"detect", FormatDouble(detect.serial_tps, 0),
+                 FormatDouble(detect.parallel_tps, 0),
+                 FormatDouble(detect.speedup, 2),
+                 std::to_string(parallel_params.num_threads)});
+
+  if (const char* json_path = std::getenv("CATMARK_BENCH_JSON")) {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench_throughput: cannot write %s\n", json_path);
+      return 1;
+    }
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"bench_throughput\",\n"
+        "  \"n\": %zu,\n"
+        "  \"domain\": %zu,\n"
+        "  \"passes\": %zu,\n"
+        "  \"threads\": %zu,\n"
+        "  \"embed_serial_tps\": %.0f,\n"
+        "  \"embed_parallel_tps\": %.0f,\n"
+        "  \"embed_speedup\": %.3f,\n"
+        "  \"detect_serial_tps\": %.0f,\n"
+        "  \"detect_parallel_tps\": %.0f,\n"
+        "  \"detect_speedup\": %.3f\n"
+        "}\n",
+        config.num_tuples, config.domain_size, config.passes,
+        parallel_params.num_threads, embed.serial_tps, embed.parallel_tps,
+        embed.speedup, detect.serial_tps, detect.parallel_tps, detect.speedup);
+    out << buf;
+    std::printf("json report: %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace catmark
+
+int main(int argc, char** argv) {
+  const catmark::ExperimentConfig config =
+      catmark::ExperimentConfig::FromArgs(argc, argv);
+  return catmark::Run(config);
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the embed/detect pipeline throughput bench and emits the
+# machine-readable BENCH_throughput.json next to the repo root (or at
+# $CATMARK_BENCH_JSON when already set). Extra flags are forwarded, so the
+# acceptance configuration is:
+#   scripts/bench_throughput.sh build --n 1000000 --passes 3
+set -euo pipefail
+
+build_dir=${1:-build}
+shift || true
+
+bin="$build_dir/bench/bench_throughput"
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not built (build the 'bench' target first)" >&2
+  exit 1
+fi
+
+export CATMARK_BENCH_JSON=${CATMARK_BENCH_JSON:-BENCH_throughput.json}
+"$bin" "$@"
+echo "wrote $CATMARK_BENCH_JSON"

@@ -1,0 +1,89 @@
+#include "common/parallel.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace catmark {
+
+namespace {
+
+// Hard ceiling on workers, whatever CATMARK_THREADS says: these loops are
+// memory-bound well before 256 shards, and an unbounded count (e.g. a
+// negative value wrapped by strtoul) would otherwise try to spawn one
+// thread per row and abort the process on resource exhaustion.
+constexpr std::size_t kMaxThreads = 256;
+
+}  // namespace
+
+std::size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("CATMARK_THREADS")) {
+    // strtoul silently wraps negative input; reject anything but digits.
+    bool numeric = *env != '\0';
+    for (const char* p = env; *p != '\0'; ++p) {
+      if (!std::isdigit(static_cast<unsigned char>(*p))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) {
+      const unsigned long v = std::strtoul(env, nullptr, 10);
+      if (v >= 1) {
+        return v < kMaxThreads ? static_cast<std::size_t>(v) : kMaxThreads;
+      }
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<std::size_t>(hw) : 1;
+}
+
+std::size_t EffectiveThreadCount(std::size_t requested, std::size_t n) {
+  std::size_t threads = requested == 0 ? DefaultThreadCount() : requested;
+  if (threads > kMaxThreads) threads = kMaxThreads;
+  if (n >= 1 && threads > n) threads = n;
+  return threads >= 1 ? threads : 1;
+}
+
+void ParallelFor(std::size_t n, std::size_t num_threads,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t threads = EffectiveThreadCount(num_threads, n);
+  if (threads == 1) {
+    fn(0, 0, n);
+    return;
+  }
+
+  // Shard s covers [bounds[s], bounds[s + 1]); the first n % threads shards
+  // take one extra item.
+  std::vector<std::size_t> bounds(threads + 1, 0);
+  const std::size_t chunk = n / threads;
+  const std::size_t extra = n % threads;
+  for (std::size_t s = 0; s < threads; ++s) {
+    bounds[s + 1] = bounds[s] + chunk + (s < extra ? 1 : 0);
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  std::size_t unspawned = threads;
+  for (std::size_t s = 1; s < threads; ++s) {
+    try {
+      workers.emplace_back([&fn, s, begin = bounds[s], end = bounds[s + 1]] {
+        fn(s, begin, end);
+      });
+    } catch (const std::system_error&) {
+      // Thread spawn failed (resource pressure): the remaining shards run
+      // inline below rather than terminating with joinable threads alive.
+      unspawned = s;
+      break;
+    }
+  }
+  fn(0, bounds[0], bounds[1]);
+  for (std::size_t s = unspawned; s < threads; ++s) {
+    fn(s, bounds[s], bounds[s + 1]);
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace catmark

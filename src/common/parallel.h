@@ -1,0 +1,30 @@
+#ifndef CATMARK_COMMON_PARALLEL_H_
+#define CATMARK_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace catmark {
+
+/// Worker count used when a caller passes 0 ("auto"): the CATMARK_THREADS
+/// environment variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency(), floored at 1.
+std::size_t DefaultThreadCount();
+
+/// Resolves a requested worker count (0 = DefaultThreadCount) against an
+/// input of `n` items: never more threads than items, never fewer than 1.
+std::size_t EffectiveThreadCount(std::size_t requested, std::size_t n);
+
+/// Sharded parallel-for: splits [0, n) into `num_threads` near-equal
+/// contiguous shards and runs fn(shard, begin, end) once per shard — shard 0
+/// on the calling thread, the rest on freshly spawned threads, all joined
+/// before returning. Shard boundaries depend only on (n, num_threads), and
+/// callers that only write shard-local state (or per-row slots) get results
+/// independent of the thread count. `fn` must not throw.
+void ParallelFor(std::size_t n, std::size_t num_threads,
+                 const std::function<void(std::size_t shard, std::size_t begin,
+                                          std::size_t end)>& fn);
+
+}  // namespace catmark
+
+#endif  // CATMARK_COMMON_PARALLEL_H_

@@ -74,6 +74,9 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
   bool IsConstraintViolation() const {
     return code_ == StatusCode::kConstraintViolation;
   }

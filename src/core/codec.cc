@@ -17,11 +17,23 @@ std::uint64_t FitnessSelector::KeyHash(const Value& key_value) const {
   return HashValue(hasher_, key_value);
 }
 
+std::uint64_t FitnessSelector::KeyHash(const Value& key_value,
+                                       HashScratch& scratch) const {
+  return HashValue(hasher_, key_value, scratch);
+}
+
 std::uint64_t HashValue(const KeyedHasher& hasher, const Value& v) {
-  std::vector<std::uint8_t> bytes;
+  HashScratch bytes;
   bytes.reserve(24);
   v.SerializeForHash(bytes);
   return hasher.Hash64(bytes.data(), bytes.size());
+}
+
+std::uint64_t HashValue(const KeyedHasher& hasher, const Value& v,
+                        HashScratch& scratch) {
+  scratch.clear();
+  v.SerializeForHash(scratch);
+  return hasher.Hash64(scratch.data(), scratch.size());
 }
 
 std::size_t PayloadIndexFromHash(std::uint64_t h, std::size_t payload_len,

@@ -20,6 +20,10 @@ class FitnessSelector {
   /// H(key_value, k1).
   std::uint64_t KeyHash(const Value& key_value) const;
 
+  /// H(key_value, k1), serializing into the caller's reusable buffer — the
+  /// allocation-free variant the per-thread pipeline loops use.
+  std::uint64_t KeyHash(const Value& key_value, HashScratch& scratch) const;
+
   /// H(key_value, k1) mod e == 0.
   bool IsFit(const Value& key_value) const {
     return KeyHash(key_value) % e_ == 0;
@@ -35,6 +39,11 @@ class FitnessSelector {
 /// Keyed hash of an arbitrary Value (used with k2 for bit positions and by
 /// the frequency-domain channel for category grouping).
 std::uint64_t HashValue(const KeyedHasher& hasher, const Value& v);
+
+/// As above, but serializes into `scratch` (cleared first) so tight loops
+/// reuse one buffer per thread instead of allocating per call.
+std::uint64_t HashValue(const KeyedHasher& hasher, const Value& v,
+                        HashScratch& scratch);
 
 /// Maps a 64-bit hash to a wm_data index in [0, L).
 std::size_t PayloadIndexFromHash(std::uint64_t h, std::size_t payload_len,

@@ -1,19 +1,33 @@
 #include "core/detector.h"
 
+#include <algorithm>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/codec.h"
 #include "core/embedder.h"
+#include "core/tuple_plan.h"
 #include "ecc/code.h"
 #include "random/stats.h"
+#include "relation/value_index_column.h"
 
 namespace catmark {
 
 MatchStats MatchWatermark(const BitVector& expected, const BitVector& decoded) {
   MatchStats stats;
-  CATMARK_CHECK_EQ(expected.size(), decoded.size());
-  stats.total_bits = expected.size();
-  stats.matched_bits = expected.size() - expected.HammingDistance(decoded);
+  stats.length_mismatch = expected.size() != decoded.size();
+  stats.total_bits = std::max(expected.size(), decoded.size());
+  const std::size_t common = std::min(expected.size(), decoded.size());
+  if (stats.length_mismatch) {
+    // Size-tolerant: bits present on only one side count as mismatches, so a
+    // detector run with the wrong payload length degrades the score instead
+    // of crashing the process.
+    for (std::size_t i = 0; i < common; ++i) {
+      if (expected.Get(i) == decoded.Get(i)) ++stats.matched_bits;
+    }
+  } else {
+    stats.matched_bits = common - expected.HammingDistance(decoded);
+  }
   if (stats.total_bits > 0) {
     stats.match_fraction = static_cast<double>(stats.matched_bits) /
                            static_cast<double>(stats.total_bits);
@@ -59,46 +73,89 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
 
   DetectionResult result;
   result.num_tuples = rel.NumRows();
-  const std::size_t payload_len =
-      options.payload_length != 0
-          ? options.payload_length
-          : (params_.payload_length != 0
-                 ? params_.payload_length
-                 : DerivePayloadLength(rel.NumRows(), params_.e, wm_len));
+  std::size_t payload_len;
+  if (options.payload_length != 0) {
+    payload_len = options.payload_length;
+  } else if (params_.payload_length != 0) {
+    payload_len = params_.payload_length;
+  } else {
+    if (rel.NumRows() / params_.e == 0) {
+      return Status::FailedPrecondition(
+          "cannot derive the payload length: e exceeds the suspect relation "
+          "size (N/e == 0); pass the owner-side payload_length instead");
+    }
+    payload_len = DerivePayloadLength(rel.NumRows(), params_.e, wm_len);
+  }
   result.payload_length = payload_len;
 
-  const FitnessSelector fitness(keys_.k1, params_.e, params_.hash_algo);
-  const KeyedHasher position_hasher(keys_.k2, params_.hash_algo);
+  // Parallel precompute shared with the embedder: per-row fitness hash and
+  // (on the k2 path) payload index.
+  const std::size_t threads =
+      EffectiveThreadCount(params_.num_threads, rel.NumRows());
+  const bool use_map = options.embedding_map != nullptr;
+  const TuplePlan plan = BuildTuplePlan(rel, key_col, keys_, params_,
+                                        payload_len, !use_map, threads);
+  result.fit_tuples = plan.fit_count;
+
+  // Domain-index view of the target column: a sweep-provided cache skips
+  // IndexOf entirely; otherwise indices are resolved lazily below — only
+  // the ~N/e fit tuples ever need one.
+  const ValueIndexColumn* cached_index = options.target_index;
+  if (cached_index != nullptr && cached_index->size() != rel.NumRows()) {
+    return Status::InvalidArgument(
+        "DetectOptions::target_index has a different row count than the "
+        "suspect relation");
+  }
 
   // Per-position vote tallies: multiple fit tuples can map to the same
   // wm_data position; they all embedded the same bit, so majority-per-
-  // position cleans up attack damage before the ECC even runs.
-  std::vector<long> votes(payload_len, 0);
-
-  for (std::size_t j = 0; j < rel.NumRows(); ++j) {
-    const Value& key_value = rel.Get(j, key_col);
-    if (key_value.is_null()) continue;
-    const std::uint64_t h1 = fitness.KeyHash(key_value);
-    if (h1 % params_.e != 0) continue;
-    ++result.fit_tuples;
-
-    std::size_t idx;
-    if (options.embedding_map != nullptr) {
-      const auto found = options.embedding_map->Lookup(key_value);
-      if (!found.has_value()) continue;  // e.g. tuple added by Mallory
-      idx = *found % payload_len;
-    } else {
-      idx = PayloadIndexFromHash(HashValue(position_hasher, key_value),
-                                 payload_len, params_.bit_index_mode);
+  // position cleans up attack damage before the ECC even runs. Each shard
+  // tallies into its own votes[] array; the arrays are summed afterwards —
+  // integer addition commutes, so the merged tally (and with it the whole
+  // DetectionResult) is bit-identical for every thread count.
+  std::vector<std::vector<long>> shard_votes(
+      threads, std::vector<long>(payload_len, 0));
+  std::vector<std::size_t> shard_usable(threads, 0);
+  ParallelFor(rel.NumRows(), threads, [&](std::size_t shard, std::size_t begin,
+                                          std::size_t end) {
+    std::vector<long>& votes = shard_votes[shard];
+    std::size_t usable = 0;
+    for (std::size_t j = begin; j < end; ++j) {
+      if (!plan.fit[j]) continue;
+      std::size_t idx;
+      if (use_map) {
+        const auto found = options.embedding_map->Lookup(rel.Get(j, key_col));
+        if (!found.has_value()) continue;  // e.g. tuple added by Mallory
+        idx = *found % payload_len;
+      } else {
+        idx = plan.payload_index[j];
+      }
+      // Determine t such that T_j(A) = a_t, then read the embedded bit
+      // t & 1; NULL and out-of-domain values (A6 remap, noise) are unusable.
+      std::int32_t t;
+      if (cached_index != nullptr) {
+        t = cached_index->index(j);
+      } else {
+        const Value& attr_value = rel.Get(j, target_col);
+        if (attr_value.is_null()) continue;
+        const auto found = domain.IndexOf(attr_value);
+        t = found.has_value() ? static_cast<std::int32_t>(*found)
+                              : ValueIndexColumn::kNoIndex;
+      }
+      if (t < 0) continue;
+      ++usable;
+      votes[idx] +=
+          ExtractBitFromValueIndex(static_cast<std::size_t>(t)) ? 1 : -1;
     }
+    shard_usable[shard] = usable;
+  });
 
-    // Determine t such that T_j(A) = a_t, then read the embedded bit t & 1.
-    const Value& attr_value = rel.Get(j, target_col);
-    if (attr_value.is_null()) continue;
-    const auto t = domain.IndexOf(attr_value);
-    if (!t.has_value()) continue;  // value outside domain (A6 remap, noise)
-    ++result.usable_votes;
-    votes[idx] += ExtractBitFromValueIndex(*t) ? 1 : -1;
+  std::vector<long> votes(payload_len, 0);
+  for (std::size_t s = 0; s < threads; ++s) {
+    result.usable_votes += shard_usable[s];
+    for (std::size_t i = 0; i < payload_len; ++i) {
+      votes[i] += shard_votes[s][i];
+    }
   }
 
   ExtractedPayload payload(payload_len);

@@ -12,6 +12,7 @@
 #include "core/params.h"
 #include "relation/domain.h"
 #include "relation/relation.h"
+#include "relation/value_index_column.h"
 
 namespace catmark {
 
@@ -31,11 +32,20 @@ struct DetectOptions {
   /// |wm_data| used at embed time (EmbedReport::payload_length). When 0 it
   /// is re-derived from the *suspect* relation's size — fine when no tuples
   /// were added/removed, wrong after A1/A2; real deployments keep this one
-  /// integer as owner-side metadata.
+  /// integer as owner-side metadata. Deriving fails with FailedPrecondition
+  /// when N / e == 0 (the suspect relation is smaller than e).
   std::size_t payload_length = 0;
 
   /// Detect via the Figure 2(b) embedding-map variant instead of k2.
   const EmbeddingMap* embedding_map = nullptr;
+
+  /// Optional reusable domain-index view of the target column, for
+  /// detection sweeps that run many keys/attacks over the same suspect
+  /// data: build it once with ValueIndexColumn::Build (against the same
+  /// domain passed above) and every Detect call skips its per-tuple
+  /// IndexOf lookups. When null, indices are resolved lazily for fit
+  /// tuples only. Must have one entry per suspect row.
+  const ValueIndexColumn* target_index = nullptr;
 };
 
 /// Detection outcome plus channel diagnostics.
@@ -58,7 +68,13 @@ struct DetectionResult {
 /// court-time statistics of Section 4.4.
 struct MatchStats {
   std::size_t matched_bits = 0;
+  /// max(|expected|, |decoded|). On a length mismatch the bits present on
+  /// only one side count as mismatched, so the score degrades instead of
+  /// the comparison being undefined.
   std::size_t total_bits = 0;
+  /// True when |expected| != |decoded| — usually a payload-length mix-up
+  /// between embed and detect; callers should surface it.
+  bool length_mismatch = false;
   double match_fraction = 0.0;    ///< matched / total
   double mark_alteration = 0.0;   ///< 1 - match_fraction (the figures' y-axis)
   /// P[>= matched_bits of total match by pure chance] — the false-claim
@@ -66,6 +82,9 @@ struct MatchStats {
   double false_match_probability = 1.0;
 };
 
+/// Size-tolerant comparison: never aborts on a length mismatch (it is
+/// reported via MatchStats::length_mismatch and scored against the longer
+/// vector instead).
 MatchStats MatchWatermark(const BitVector& expected, const BitVector& decoded);
 
 /// wm_decode (Figure 2): blind watermark detection.

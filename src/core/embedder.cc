@@ -1,9 +1,10 @@
 #include "core/embedder.h"
 
-#include <unordered_set>
-
+#include "common/parallel.h"
 #include "core/codec.h"
+#include "core/tuple_plan.h"
 #include "ecc/code.h"
+#include "relation/value_index_column.h"
 
 namespace catmark {
 
@@ -49,6 +50,12 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
   if (rel.empty()) {
     return Status::FailedPrecondition("cannot watermark an empty relation");
   }
+  if (rel.NumRows() / params_.e == 0) {
+    return Status::FailedPrecondition(
+        "encoding parameter e exceeds the relation size (N/e == 0): fewer "
+        "than one tuple is expected to be fit, so the channel has no "
+        "bandwidth");
+  }
 
   if (options.domain.has_value()) {
     report.domain = *options.domain;
@@ -74,67 +81,74 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
   CATMARK_ASSIGN_OR_RETURN(const BitVector wm_data,
                            ecc->Encode(wm, payload_len));
 
-  const FitnessSelector fitness(keys_.k1, params_.e, params_.hash_algo);
-  const KeyedHasher position_hasher(keys_.k2, params_.hash_algo);
+  // Parallel precompute: fitness hashes and (on the k2 path) payload
+  // indices in one pass, plus the domain-index view of the target column so
+  // IndexOf runs once per row instead of up to twice per fit tuple.
+  const std::size_t threads =
+      EffectiveThreadCount(params_.num_threads, rel.NumRows());
+  const TuplePlan plan =
+      BuildTuplePlan(rel, key_col, keys_, params_, payload_len,
+                     !options.build_embedding_map, threads);
+  const ValueIndexColumn target_index =
+      ValueIndexColumn::Build(rel, target_col, report.domain, threads);
 
   // Occurrence counts per domain value, for the category-draining guard.
-  std::vector<long> category_count(domain_size, 0);
+  std::vector<long> category_count;
   if (params_.min_category_keep > 0) {
-    for (std::size_t j = 0; j < rel.NumRows(); ++j) {
-      const auto t = report.domain.IndexOf(rel.Get(j, target_col));
-      if (t.has_value()) ++category_count[*t];
-    }
+    category_count = target_index.CountPerCategory(domain_size);
   }
 
-  std::unordered_set<std::size_t> positions;
+  // Sequential apply pass: preserves the Figure 1(b) map insertion order and
+  // the draining guard's running counts. An embedding-map entry is recorded
+  // only once the tuple's alteration (or unchanged hit) is committed —
+  // skipped tuples must not occupy map slots, or the map-based detector
+  // would vote on positions that were never written.
+  std::vector<std::uint8_t> position_seen(payload_len, 0);
   std::size_t next_map_index = 0;
 
   for (std::size_t j = 0; j < rel.NumRows(); ++j) {
-    const Value& key_value = rel.Get(j, key_col);
-    if (key_value.is_null()) continue;
-    const std::uint64_t h1 = fitness.KeyHash(key_value);
-    if (h1 % params_.e != 0) continue;
+    if (!plan.fit[j]) continue;
     ++report.fit_tuples;
-
-    // wm_data bit position: keyed hash (Fig. 1a) or running map (Fig. 1b).
-    std::size_t idx;
-    if (options.build_embedding_map) {
-      idx = next_map_index % payload_len;
-      report.embedding_map.Insert(key_value, idx);
-      ++next_map_index;
-    } else {
-      idx = PayloadIndexFromHash(HashValue(position_hasher, key_value),
-                                 payload_len, params_.bit_index_mode);
-    }
 
     if (ledger != nullptr && ledger->IsMarked(j, target_col)) {
       ++report.skipped_by_ledger;
       continue;
     }
 
-    const int bit = wm_data.Get(idx);
-    const std::size_t t = SelectValueIndex(h1, domain_size, bit);
-    const Value& new_value = report.domain.value(t);
-    // Copy: rel.Set below overwrites the cell this would reference.
-    const Value old_value = rel.Get(j, target_col);
+    // wm_data bit position: keyed hash (Fig. 1a) or running map (Fig. 1b).
+    const std::size_t idx = options.build_embedding_map
+                                ? next_map_index % payload_len
+                                : plan.payload_index[j];
 
-    if (old_value == new_value) {
-      ++report.unchanged_tuples;
-      positions.insert(idx);
+    const int bit = wm_data.Get(idx);
+    const std::size_t t = SelectValueIndex(plan.h1[j], domain_size, bit);
+    const std::int32_t old_t = target_index.index(j);
+
+    const auto commit = [&] {
+      if (!position_seen[idx]) {
+        position_seen[idx] = 1;
+        ++report.positions_written;
+      }
+      if (options.build_embedding_map) {
+        report.embedding_map.Insert(rel.Get(j, key_col), idx);
+        ++next_map_index;
+      }
       if (ledger != nullptr) ledger->Mark(j, target_col);
+    };
+
+    if (old_t >= 0 && static_cast<std::size_t>(old_t) == t) {
+      ++report.unchanged_tuples;
+      commit();
       continue;
     }
 
-    const std::optional<std::size_t> old_t =
-        params_.min_category_keep > 0
-            ? report.domain.IndexOf(old_value)
-            : std::optional<std::size_t>{};
-    if (old_t.has_value() &&
-        category_count[*old_t] <= params_.min_category_keep) {
+    if (params_.min_category_keep > 0 && old_t >= 0 &&
+        category_count[old_t] <= params_.min_category_keep) {
       ++report.skipped_by_domain_guard;
       continue;
     }
 
+    const Value& new_value = report.domain.value(t);
     if (assessor != nullptr) {
       const Status s =
           assessor->ProposeAlteration(rel, j, target_col, new_value);
@@ -147,15 +161,13 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
       CATMARK_RETURN_IF_ERROR(rel.Set(j, target_col, new_value));
     }
     if (params_.min_category_keep > 0) {
-      if (old_t.has_value()) --category_count[*old_t];
+      if (old_t >= 0) --category_count[old_t];
       ++category_count[t];
     }
     ++report.altered_tuples;
-    positions.insert(idx);
-    if (ledger != nullptr) ledger->Mark(j, target_col);
+    commit();
   }
 
-  report.positions_written = positions.size();
   report.alteration_fraction =
       static_cast<double>(report.altered_tuples) /
       static_cast<double>(report.num_tuples);

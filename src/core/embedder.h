@@ -59,6 +59,18 @@ class Embedder {
 
   /// Embeds `wm` into `rel` in place.
   ///
+  /// Pipelined: fitness hashes, payload indices and the domain-index view
+  /// of the target column are precomputed in parallel (WatermarkParams::
+  /// num_threads workers), then alterations apply in one sequential pass so
+  /// the Figure 1(b) map insertion order and the category-draining guard's
+  /// running counts stay deterministic. An embedding-map entry is recorded
+  /// only for committed tuples (altered or unchanged-hit) — never for
+  /// tuples skipped by the ledger, the domain guard or a quality veto.
+  ///
+  /// Fails with FailedPrecondition when N / e == 0 (e exceeds the relation
+  /// size): fewer than one tuple is expected to be fit, so "success" would
+  /// embed nothing.
+  ///
   /// `assessor` (optional) enforces data-quality constraints; the caller
   /// must have called assessor->Begin(rel) beforehand (so one assessor can
   /// span multiple passes). `ledger` (optional) makes multi-attribute

@@ -40,6 +40,14 @@ struct WatermarkParams {
   /// longer determines the original N/e.
   std::size_t payload_length = 0;
 
+  /// Worker threads for the embed/detect pipeline's parallel stages (plan
+  /// precompute, domain-index view, vote tally). 0 = auto: the
+  /// CATMARK_THREADS environment variable when set, otherwise the hardware
+  /// thread count. Results are bit-identical for every value — embedding
+  /// applies its plan sequentially and detection merges per-thread integer
+  /// tallies — so this knob only trades wall-clock for cores.
+  std::size_t num_threads = 0;
+
   /// Embedding skips alterations that would drop a category of the target
   /// attribute below this many occurrences. Draining a category would (a)
   /// remove it from a blindly re-derived domain, shifting every higher

@@ -1,0 +1,59 @@
+#include "core/tuple_plan.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "core/codec.h"
+
+namespace catmark {
+
+TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
+                         const WatermarkKeySet& keys,
+                         const WatermarkParams& params,
+                         std::size_t payload_len, bool with_payload_index,
+                         std::size_t num_threads) {
+  const std::size_t n = rel.NumRows();
+  TuplePlan plan;
+  plan.fit.assign(n, 0);
+  plan.h1.assign(n, 0);
+  if (with_payload_index) {
+    CATMARK_CHECK_GE(payload_len, 1u);
+    CATMARK_CHECK_LE(payload_len,
+                     static_cast<std::size_t>(
+                         std::numeric_limits<std::uint32_t>::max()));
+    plan.payload_index.assign(n, 0);
+  }
+
+  const std::size_t threads = EffectiveThreadCount(num_threads, n);
+  std::vector<std::size_t> shard_fit(threads, 0);
+  ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
+                              std::size_t end) {
+    // Per-worker hasher state and scratch buffer: keyed hashing allocates
+    // nothing inside the row loop.
+    const FitnessSelector fitness(keys.k1, params.e, params.hash_algo);
+    const KeyedHasher position_hasher(keys.k2, params.hash_algo);
+    HashScratch scratch;
+    scratch.reserve(64);
+    std::size_t local_fit = 0;
+    for (std::size_t j = begin; j < end; ++j) {
+      const Value& key_value = rel.Get(j, key_col);
+      if (key_value.is_null()) continue;
+      const std::uint64_t h1 = fitness.KeyHash(key_value, scratch);
+      if (h1 % params.e != 0) continue;
+      plan.fit[j] = 1;
+      plan.h1[j] = h1;
+      ++local_fit;
+      if (with_payload_index) {
+        plan.payload_index[j] = static_cast<std::uint32_t>(
+            PayloadIndexFromHash(HashValue(position_hasher, key_value, scratch),
+                                 payload_len, params.bit_index_mode));
+      }
+    }
+    shard_fit[shard] = local_fit;
+  });
+  for (const std::size_t f : shard_fit) plan.fit_count += f;
+  return plan;
+}
+
+}  // namespace catmark

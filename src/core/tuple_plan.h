@@ -1,0 +1,47 @@
+#ifndef CATMARK_CORE_TUPLE_PLAN_H_
+#define CATMARK_CORE_TUPLE_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/keys.h"
+#include "core/params.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Per-tuple precompute shared by the embed and detect hot paths, built in
+/// one thread-parallel pass over the key column (structure-of-arrays so the
+/// later per-row loops stream through flat memory):
+///
+///   - fit[j]: the Section 3.2.1 fitness verdict H(T_j(K), k1) mod e == 0;
+///     NULL keys are unfit.
+///   - h1[j]: the fitness hash itself (valid iff fit[j]) — it also drives
+///     value selection, so it is computed once, not once per use.
+///   - payload_index[j]: the k2-derived wm_data position (valid iff fit[j];
+///     only populated when the k2 position path is in use — the Figure 1(b)
+///     embedding-map path assigns indices sequentially at apply time).
+///
+/// Every worker reuses one HashScratch, so plan construction performs no
+/// per-row allocations.
+struct TuplePlan {
+  std::vector<std::uint8_t> fit;
+  std::vector<std::uint64_t> h1;
+  std::vector<std::uint32_t> payload_index;
+  std::size_t fit_count = 0;
+
+  std::size_t size() const { return fit.size(); }
+};
+
+/// Builds the plan with `num_threads` workers (0 = auto). `payload_len` is
+/// only consulted when `with_payload_index` is set; it must then be >= 1 and
+/// fit in 32 bits.
+TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
+                         const WatermarkKeySet& keys,
+                         const WatermarkParams& params,
+                         std::size_t payload_len, bool with_payload_index,
+                         std::size_t num_threads = 0);
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_TUPLE_PLAN_H_

@@ -39,6 +39,12 @@ class SecretKey {
   std::vector<std::uint8_t> bytes_;
 };
 
+/// Reusable input-serialization buffer for hot keyed-hash loops. Hashing a
+/// relational value requires serializing it to bytes first; the embed/detect
+/// pipelines keep one HashScratch per worker thread so that serialization
+/// reuses one grown-once buffer instead of allocating per call.
+using HashScratch = std::vector<std::uint8_t>;
+
 /// Computes the paper's H(V, k) = crypto_hash(k ; V ; k) ("; " denotes
 /// concatenation, Section 2.2), truncated to the first 64 digest bits.
 /// Wrapping the message with the key on both sides defeats length-extension

@@ -1,0 +1,42 @@
+#include "relation/value_index_column.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace catmark {
+
+ValueIndexColumn ValueIndexColumn::Build(const Relation& rel, std::size_t col,
+                                         const CategoricalDomain& domain,
+                                         std::size_t num_threads) {
+  CATMARK_CHECK_LT(col, rel.schema().num_columns());
+  CATMARK_CHECK_LE(domain.size(),
+                   static_cast<std::size_t>(
+                       std::numeric_limits<std::int32_t>::max()));
+  ValueIndexColumn out;
+  out.index_.assign(rel.NumRows(), kNoIndex);
+  ParallelFor(rel.NumRows(), EffectiveThreadCount(num_threads, rel.NumRows()),
+              [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
+                for (std::size_t j = begin; j < end; ++j) {
+                  const Value& v = rel.Get(j, col);
+                  if (v.is_null()) continue;
+                  const auto t = domain.IndexOf(v);
+                  if (t.has_value()) {
+                    out.index_[j] = static_cast<std::int32_t>(*t);
+                  }
+                }
+              });
+  return out;
+}
+
+std::vector<long> ValueIndexColumn::CountPerCategory(
+    std::size_t domain_size) const {
+  std::vector<long> counts(domain_size, 0);
+  for (const std::int32_t t : index_) {
+    if (t >= 0 && static_cast<std::size_t>(t) < domain_size) ++counts[t];
+  }
+  return counts;
+}
+
+}  // namespace catmark

@@ -1,0 +1,47 @@
+#ifndef CATMARK_RELATION_VALUE_INDEX_COLUMN_H_
+#define CATMARK_RELATION_VALUE_INDEX_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/domain.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Domain-index-encoded view of one categorical column: entry j holds the
+/// sorted-domain index t of rel.Get(j, col), or kNoIndex when the cell is
+/// NULL or outside the domain (e.g. after an A6 remapping attack).
+///
+/// Embedding and detection both need t per cell — the embedded bit is t & 1
+/// — and a multi-key detection sweep needs it once per pass. Building this
+/// cache up front runs CategoricalDomain::IndexOf (a Value binary search)
+/// exactly once per row instead of once per row *per pass*, and the int32
+/// array is small enough to stay cache-resident during the vote tally.
+class ValueIndexColumn {
+ public:
+  static constexpr std::int32_t kNoIndex = -1;
+
+  ValueIndexColumn() = default;
+
+  /// Builds the view with `num_threads` workers (0 = auto).
+  static ValueIndexColumn Build(const Relation& rel, std::size_t col,
+                                const CategoricalDomain& domain,
+                                std::size_t num_threads = 0);
+
+  /// Domain index of row `j`, or kNoIndex.
+  std::int32_t index(std::size_t j) const { return index_[j]; }
+
+  std::size_t size() const { return index_.size(); }
+
+  /// Occurrence count per domain index (kNoIndex cells excluded) — the
+  /// input of the embedder's category-draining guard.
+  std::vector<long> CountPerCategory(std::size_t domain_size) const;
+
+ private:
+  std::vector<std::int32_t> index_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_RELATION_VALUE_INDEX_COLUMN_H_

@@ -201,6 +201,42 @@ TEST(DetectorTest, AllHashAlgorithmsRoundTrip) {
   }
 }
 
+TEST(DetectorTest, SweepCachedTargetIndexMatchesLazyDetection) {
+  // A detection sweep builds the domain-index view once and reuses it for
+  // every key; the result must be identical to the lazy per-call path.
+  const Marked m = EmbedStandard(15);
+  const ValueIndexColumn view =
+      ValueIndexColumn::Build(m.rel, 1, m.report.domain);
+  for (const std::uint64_t key_seed : {15ull, 99ull, 100ull}) {
+    const Detector detector(WatermarkKeySet::FromSeed(key_seed), m.params);
+    DetectOptions lazy = DetectKA(m.report);
+    const DetectionResult lazy_result =
+        detector.Detect(m.rel, lazy, m.wm.size()).value();
+    DetectOptions cached = DetectKA(m.report);
+    cached.target_index = &view;
+    const DetectionResult cached_result =
+        detector.Detect(m.rel, cached, m.wm.size()).value();
+    EXPECT_EQ(cached_result.wm, lazy_result.wm);
+    EXPECT_EQ(cached_result.usable_votes, lazy_result.usable_votes);
+    EXPECT_EQ(cached_result.positions_present, lazy_result.positions_present);
+  }
+}
+
+TEST(DetectorTest, RejectsMismatchedTargetIndex) {
+  const Marked m = EmbedStandard(17);
+  Relation half(m.rel.schema());
+  for (std::size_t j = 0; j < m.rel.NumRows() / 2; ++j) {
+    half.AppendRowUnchecked(m.rel.row(j));
+  }
+  const ValueIndexColumn stale =
+      ValueIndexColumn::Build(m.rel, 1, m.report.domain);
+  const Detector detector(m.keys, m.params);
+  DetectOptions options = DetectKA(m.report);
+  options.target_index = &stale;
+  const Status status = detector.Detect(half, options, 10).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
 // ------------------------------------------------------------- error paths
 
 TEST(DetectorTest, RejectsZeroLengthWatermark) {
@@ -223,6 +259,28 @@ TEST(DetectorTest, RejectsEmptyRelation) {
   Relation empty(m.rel.schema());
   const Detector detector(m.keys, m.params);
   EXPECT_FALSE(detector.Detect(empty, DetectKA(m.report), 10).ok());
+}
+
+// Regression: deriving the payload length from a suspect relation smaller
+// than e used to silently floor N/e to |wm| and "succeed" with no usable
+// channel; it is now an explicit precondition failure. Owner-side
+// payload_length keeps working on arbitrarily small suspects.
+TEST(DetectorTest, DerivedPayloadLengthFailsWhenEExceedsSuspectSize) {
+  const Marked m = EmbedStandard(16, 30);
+  Relation tiny(m.rel.schema());
+  for (std::size_t j = 0; j < 20; ++j) {
+    tiny.AppendRowUnchecked(m.rel.row(j));
+  }
+  const Detector detector(m.keys, m.params);
+  DetectOptions derived;
+  derived.key_attr = "K";
+  derived.target_attr = "A";
+  derived.domain = m.report.domain;
+  const Status status = detector.Detect(tiny, derived, 10).status();
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+
+  // The explicit owner-side payload length is unaffected.
+  EXPECT_TRUE(detector.Detect(tiny, DetectKA(m.report), 10).ok());
 }
 
 // -------------------------------------------------------------- MatchStats
@@ -252,6 +310,38 @@ TEST(MatchStatsTest, TotalMismatch) {
   const MatchStats stats = MatchWatermark(a, b);
   EXPECT_EQ(stats.matched_bits, 0u);
   EXPECT_DOUBLE_EQ(stats.mark_alteration, 1.0);
+  EXPECT_FALSE(stats.length_mismatch);
+}
+
+// Regression: a length mismatch (usually a payload-length mix-up between
+// embed and detect) used to CHECK-crash the whole process. It now scores
+// the overhang as mismatched bits and flags the condition.
+TEST(MatchStatsTest, LengthMismatchIsToleratedAndFlagged) {
+  const BitVector expected = BitVector::FromString("1111111111").value();
+  const BitVector decoded = BitVector::FromString("1111").value();
+  const MatchStats stats = MatchWatermark(expected, decoded);
+  EXPECT_TRUE(stats.length_mismatch);
+  EXPECT_EQ(stats.total_bits, 10u);
+  EXPECT_EQ(stats.matched_bits, 4u);
+  EXPECT_DOUBLE_EQ(stats.match_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(stats.mark_alteration, 0.6);
+}
+
+TEST(MatchStatsTest, LengthMismatchIsSymmetricInTotal) {
+  const BitVector shorter = BitVector(3, 1);
+  const BitVector longer = BitVector(12, 1);
+  EXPECT_EQ(MatchWatermark(shorter, longer).total_bits, 12u);
+  EXPECT_EQ(MatchWatermark(longer, shorter).total_bits, 12u);
+  EXPECT_EQ(MatchWatermark(shorter, longer).matched_bits, 3u);
+}
+
+TEST(MatchStatsTest, EmptyAgainstNonEmptyDoesNotCrash) {
+  const BitVector empty;
+  const BitVector mark = BitVector(8, 1);
+  const MatchStats stats = MatchWatermark(empty, mark);
+  EXPECT_TRUE(stats.length_mismatch);
+  EXPECT_EQ(stats.matched_bits, 0u);
+  EXPECT_EQ(stats.total_bits, 8u);
 }
 
 }  // namespace

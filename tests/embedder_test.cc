@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "core/detector.h"
 #include "core/embedder.h"
 #include "exp/harness.h"
 #include "gen/sales_gen.h"
@@ -207,7 +208,86 @@ TEST(EmbedderTest, BuildsEmbeddingMap) {
   const Embedder embedder(WatermarkKeySet::FromSeed(11), WatermarkParams{});
   const EmbedReport report =
       embedder.Embed(rel, options, MakeWatermark(10, 11)).value();
+  // Exactly the committed tuples get map entries.
+  EXPECT_EQ(report.embedding_map.size(),
+            report.altered_tuples + report.unchanged_tuples);
   EXPECT_EQ(report.embedding_map.size(), report.fit_tuples);
+}
+
+// Regression: the embedding map used to record an entry (and consume a map
+// index) *before* the ledger/quality/domain-guard checks, so vetoed tuples
+// pointed the map-based detector at positions that were never written. Only
+// committed tuples (altered or unchanged-hit) may appear in the map.
+TEST(EmbedderTest, EmbeddingMapRecordsOnlyCommittedTuples) {
+  Relation rel = StandardRelation();
+  WatermarkParams params;
+  params.e = 10;
+  const Embedder embedder(WatermarkKeySet::FromSeed(24), params);
+  EmbedOptions options = KA();
+  options.build_embedding_map = true;
+  QualityAssessor assessor;
+  assessor.AddPlugin(std::make_unique<MaxAlterationsPlugin>(0.0));  // veto all
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  const EmbedReport report =
+      embedder.Embed(rel, options, MakeWatermark(10, 24), &assessor).value();
+  EXPECT_EQ(report.altered_tuples, 0u);
+  EXPECT_GT(report.skipped_by_quality, 0u);
+  EXPECT_EQ(report.embedding_map.size(), report.unchanged_tuples)
+      << "vetoed tuples must not occupy embedding-map slots";
+}
+
+// Regression companion: with the map trimmed to committed tuples, every map
+// hit at detect time is a usable vote on a genuinely written position.
+TEST(EmbedderTest, EmbeddingMapDetectionVotesOnlyOnWrittenPositions) {
+  Relation rel = StandardRelation();
+  WatermarkParams params;
+  params.e = 10;
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(25);
+  const Embedder embedder(keys, params);
+  EmbedOptions options = KA();
+  options.build_embedding_map = true;
+  QualityAssessor assessor;
+  assessor.AddPlugin(std::make_unique<MaxAlterationsPlugin>(0.0));  // veto all
+  ASSERT_TRUE(assessor.Begin(rel).ok());
+  const BitVector wm = MakeWatermark(10, 25);
+  const EmbedReport report =
+      embedder.Embed(rel, options, wm, &assessor).value();
+
+  const Detector detector(keys, params);
+  DetectOptions detect_options;
+  detect_options.key_attr = "K";
+  detect_options.target_attr = "A";
+  detect_options.payload_length = report.payload_length;
+  detect_options.domain = report.domain;
+  detect_options.embedding_map = &report.embedding_map;
+  const DetectionResult detection =
+      detector.Detect(rel, detect_options, wm.size()).value();
+  // Every map entry resolves to a committed (unchanged-hit) tuple, and all
+  // of those carry the correct bit — so every present position agrees with
+  // the payload that was embedded.
+  EXPECT_EQ(detection.usable_votes, report.embedding_map.size());
+  EXPECT_EQ(detection.positions_present, report.positions_written);
+}
+
+TEST(EmbedderTest, LedgerSkipsDoNotOccupyMapSlots) {
+  Relation rel = StandardRelation();
+  WatermarkParams params;
+  params.e = 10;
+  const Embedder embedder(WatermarkKeySet::FromSeed(26), params);
+  EmbedOptions options = KA();
+  options.build_embedding_map = true;
+  EmbeddingLedger ledger;
+  const BitVector wm = MakeWatermark(10, 26);
+  const EmbedReport first =
+      embedder.Embed(rel, options, wm, nullptr, &ledger).value();
+  EXPECT_GT(first.embedding_map.size(), 0u);
+  // Second pass over fully-marked cells: everything is ledger-skipped, so
+  // the map must stay empty (it used to fill up with one entry per fit
+  // tuple, all pointing at unwritten positions).
+  const EmbedReport second =
+      embedder.Embed(rel, options, wm, nullptr, &ledger).value();
+  EXPECT_EQ(second.skipped_by_ledger, second.fit_tuples);
+  EXPECT_EQ(second.embedding_map.size(), 0u);
 }
 
 TEST(EmbedderTest, NoMapByDefault) {
@@ -275,6 +355,19 @@ TEST(EmbedderTest, RejectsEmptyRelation) {
   Relation rel(StandardRelation().schema());
   const Embedder embedder(WatermarkKeySet::FromSeed(18), WatermarkParams{});
   EXPECT_FALSE(embedder.Embed(rel, KA(), MakeWatermark(10, 18)).ok());
+}
+
+// Regression: with e > N, DerivePayloadLength's N/e floors to 0 and used to
+// be silently replaced by |wm| — embed "succeeded" with an expected fit
+// count below one tuple. That is now an explicit precondition failure.
+TEST(EmbedderTest, RejectsEExceedingRelationSize) {
+  Relation rel = StandardRelation(50);
+  WatermarkParams params;
+  params.e = 100;
+  const Embedder embedder(WatermarkKeySet::FromSeed(27), params);
+  const Status status =
+      embedder.Embed(rel, KA(), MakeWatermark(10, 27)).status();
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
 }
 
 TEST(EmbedderTest, NullKeysAreSkipped) {

@@ -1,0 +1,225 @@
+// Serial-vs-parallel parity: the pipelined embed/detect hot path must
+// produce bit-identical EmbedReport / DetectionResult / relation contents
+// for every thread count — embedding applies its plan sequentially and
+// detection merges per-thread integer tallies, so 1, 2 and 8 workers are
+// required to agree exactly. Run under TSan with CATMARK_THREADS swept in
+// CI to also prove data-race freedom.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "attack/attacks.h"
+#include "common/parallel.h"
+#include "core/detector.h"
+#include "core/embedder.h"
+#include "exp/harness.h"
+#include "gen/sales_gen.h"
+
+namespace catmark {
+namespace {
+
+// ------------------------------------------------------------- ParallelFor
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+    for (const std::size_t n : {0u, 1u, 7u, 100u}) {
+      std::vector<std::atomic<int>> hits(n);
+      ParallelFor(n, threads,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t j = begin; j < end; ++j) ++hits[j];
+                  });
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(hits[j].load(), 1) << "n=" << n << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ShardsAreContiguousAndOrdered) {
+  const std::size_t n = 103;
+  std::vector<std::pair<std::size_t, std::size_t>> shards(8, {0, 0});
+  ParallelFor(n, 8, [&](std::size_t shard, std::size_t begin,
+                        std::size_t end) { shards[shard] = {begin, end}; });
+  std::size_t expected_begin = 0;
+  for (const auto& [begin, end] : shards) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LE(begin, end);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, n);
+}
+
+TEST(ParallelForTest, EffectiveThreadCountClamps) {
+  EXPECT_EQ(EffectiveThreadCount(8, 3), 3u);
+  EXPECT_EQ(EffectiveThreadCount(2, 100), 2u);
+  EXPECT_GE(EffectiveThreadCount(0, 100), 1u);
+}
+
+// ------------------------------------------------------------------ parity
+
+Relation StandardRelation(std::size_t n, std::uint64_t seed) {
+  KeyedCategoricalConfig config;
+  config.num_tuples = n;
+  config.domain_size = 100;
+  config.seed = seed;
+  return GenerateKeyedCategorical(config);
+}
+
+EmbedOptions KA(bool map = false) {
+  EmbedOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  options.build_embedding_map = map;
+  return options;
+}
+
+void ExpectReportsEqual(const EmbedReport& a, const EmbedReport& b) {
+  EXPECT_EQ(a.num_tuples, b.num_tuples);
+  EXPECT_EQ(a.fit_tuples, b.fit_tuples);
+  EXPECT_EQ(a.altered_tuples, b.altered_tuples);
+  EXPECT_EQ(a.unchanged_tuples, b.unchanged_tuples);
+  EXPECT_EQ(a.skipped_by_quality, b.skipped_by_quality);
+  EXPECT_EQ(a.skipped_by_ledger, b.skipped_by_ledger);
+  EXPECT_EQ(a.skipped_by_domain_guard, b.skipped_by_domain_guard);
+  EXPECT_EQ(a.payload_length, b.payload_length);
+  EXPECT_EQ(a.positions_written, b.positions_written);
+  EXPECT_DOUBLE_EQ(a.alteration_fraction, b.alteration_fraction);
+  EXPECT_TRUE(a.domain == b.domain);
+  EXPECT_EQ(a.embedding_map.Serialize(), b.embedding_map.Serialize());
+}
+
+void ExpectDetectionsEqual(const DetectionResult& a, const DetectionResult& b) {
+  EXPECT_EQ(a.wm, b.wm);
+  EXPECT_EQ(a.num_tuples, b.num_tuples);
+  EXPECT_EQ(a.fit_tuples, b.fit_tuples);
+  EXPECT_EQ(a.usable_votes, b.usable_votes);
+  EXPECT_EQ(a.payload_length, b.payload_length);
+  EXPECT_EQ(a.positions_present, b.positions_present);
+  EXPECT_DOUBLE_EQ(a.payload_fill, b.payload_fill);
+  ASSERT_EQ(a.bit_confidence.size(), b.bit_confidence.size());
+  for (std::size_t i = 0; i < a.bit_confidence.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.bit_confidence[i], b.bit_confidence[i]);
+  }
+}
+
+TEST(ParallelParityTest, EmbedIsBitIdenticalAcrossThreadCounts) {
+  for (const bool map_mode : {false, true}) {
+    Relation serial_rel = StandardRelation(5000, 41);
+    WatermarkParams params;
+    params.e = 25;
+    params.num_threads = 1;
+    const BitVector wm = MakeWatermark(10, 41);
+    const EmbedReport serial =
+        Embedder(WatermarkKeySet::FromSeed(41), params)
+            .Embed(serial_rel, KA(map_mode), wm)
+            .value();
+
+    for (const std::size_t threads : {2u, 8u}) {
+      Relation rel = StandardRelation(5000, 41);
+      params.num_threads = threads;
+      const EmbedReport report = Embedder(WatermarkKeySet::FromSeed(41), params)
+                                     .Embed(rel, KA(map_mode), wm)
+                                     .value();
+      ExpectReportsEqual(serial, report);
+      // Row-for-row identical, not just multiset-equal: the apply pass is
+      // sequential regardless of plan threads.
+      ASSERT_EQ(rel.NumRows(), serial_rel.NumRows());
+      for (std::size_t j = 0; j < rel.NumRows(); ++j) {
+        ASSERT_TRUE(rel.Get(j, 1) == serial_rel.Get(j, 1))
+            << "row " << j << " threads=" << threads
+            << " map_mode=" << map_mode;
+      }
+    }
+  }
+}
+
+TEST(ParallelParityTest, DetectIsBitIdenticalAcrossThreadCounts) {
+  Relation rel = StandardRelation(6000, 42);
+  WatermarkParams params;
+  params.e = 20;
+  const BitVector wm = MakeWatermark(10, 42);
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(42);
+  const EmbedReport report = Embedder(keys, params).Embed(rel, KA(), wm).value();
+
+  // An attacked suspect exercises the unfit / out-of-domain / missing-key
+  // code paths, not just the clean tally.
+  const Relation attacked =
+      SubsetAdditionAttack(HorizontalPartitionAttack(rel, 0.7, 7).value(), 0.4,
+                           8)
+          .value();
+
+  DetectOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  options.payload_length = report.payload_length;
+  options.domain = report.domain;
+
+  const std::vector<const Relation*> suspects = {&rel, &attacked};
+  for (const Relation* suspect : suspects) {
+    params.num_threads = 1;
+    const DetectionResult serial =
+        Detector(keys, params).Detect(*suspect, options, wm.size()).value();
+    for (const std::size_t threads : {2u, 8u}) {
+      params.num_threads = threads;
+      const DetectionResult parallel =
+          Detector(keys, params).Detect(*suspect, options, wm.size()).value();
+      ExpectDetectionsEqual(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelParityTest, MapDetectionIsBitIdenticalAcrossThreadCounts) {
+  Relation rel = StandardRelation(4000, 43);
+  WatermarkParams params;
+  params.e = 20;
+  const BitVector wm = MakeWatermark(10, 43);
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(43);
+  const EmbedReport report =
+      Embedder(keys, params).Embed(rel, KA(/*map=*/true), wm).value();
+
+  DetectOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  options.payload_length = report.payload_length;
+  options.domain = report.domain;
+  options.embedding_map = &report.embedding_map;
+
+  params.num_threads = 1;
+  const DetectionResult serial =
+      Detector(keys, params).Detect(rel, options, wm.size()).value();
+  EXPECT_EQ(serial.wm, wm);
+  for (const std::size_t threads : {2u, 8u}) {
+    params.num_threads = threads;
+    const DetectionResult parallel =
+        Detector(keys, params).Detect(rel, options, wm.size()).value();
+    ExpectDetectionsEqual(serial, parallel);
+  }
+}
+
+TEST(ParallelParityTest, NullKeysParityAcrossThreadCounts) {
+  Relation base = StandardRelation(3000, 44);
+  for (std::size_t j = 0; j < 300; ++j) {
+    ASSERT_TRUE(base.Set(j * 7 % base.NumRows(), 0, Value()).ok());
+  }
+  WatermarkParams params;
+  params.e = 15;
+  const BitVector wm = MakeWatermark(10, 44);
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(44);
+
+  params.num_threads = 1;
+  Relation serial_rel = base;
+  const EmbedReport serial =
+      Embedder(keys, params).Embed(serial_rel, KA(), wm).value();
+  for (const std::size_t threads : {2u, 8u}) {
+    params.num_threads = threads;
+    Relation rel = base;
+    const EmbedReport report =
+        Embedder(keys, params).Embed(rel, KA(), wm).value();
+    ExpectReportsEqual(serial, report);
+  }
+}
+
+}  // namespace
+}  // namespace catmark

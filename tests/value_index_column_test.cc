@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "gen/sales_gen.h"
+#include "relation/value_index_column.h"
+
+namespace catmark {
+namespace {
+
+Relation SmallRelation() {
+  Relation rel(Schema::Create({{"K", ColumnType::kInt64, false},
+                               {"A", ColumnType::kString, true}},
+                              "K")
+                   .value());
+  rel.AppendRowUnchecked({Value(std::int64_t{0}), Value("b")});
+  rel.AppendRowUnchecked({Value(std::int64_t{1}), Value("a")});
+  rel.AppendRowUnchecked({Value(std::int64_t{2}), Value()});         // NULL
+  rel.AppendRowUnchecked({Value(std::int64_t{3}), Value("zz")});     // outside
+  rel.AppendRowUnchecked({Value(std::int64_t{4}), Value("c")});
+  rel.AppendRowUnchecked({Value(std::int64_t{5}), Value("a")});
+  return rel;
+}
+
+TEST(ValueIndexColumnTest, MatchesDomainIndexOf) {
+  const Relation rel = SmallRelation();
+  const CategoricalDomain domain =
+      CategoricalDomain::FromValues({Value("a"), Value("b"), Value("c")})
+          .value();
+  const ValueIndexColumn view = ValueIndexColumn::Build(rel, 1, domain);
+  ASSERT_EQ(view.size(), rel.NumRows());
+  EXPECT_EQ(view.index(0), 1);
+  EXPECT_EQ(view.index(1), 0);
+  EXPECT_EQ(view.index(2), ValueIndexColumn::kNoIndex);
+  EXPECT_EQ(view.index(3), ValueIndexColumn::kNoIndex);
+  EXPECT_EQ(view.index(4), 2);
+  EXPECT_EQ(view.index(5), 0);
+}
+
+TEST(ValueIndexColumnTest, CountPerCategorySkipsUnmappedCells) {
+  const Relation rel = SmallRelation();
+  const CategoricalDomain domain =
+      CategoricalDomain::FromValues({Value("a"), Value("b"), Value("c")})
+          .value();
+  const ValueIndexColumn view = ValueIndexColumn::Build(rel, 1, domain);
+  const std::vector<long> counts = view.CountPerCategory(domain.size());
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2);  // "a"
+  EXPECT_EQ(counts[1], 1);  // "b"
+  EXPECT_EQ(counts[2], 1);  // "c"
+}
+
+TEST(ValueIndexColumnTest, ThreadCountDoesNotChangeTheView) {
+  KeyedCategoricalConfig config;
+  config.num_tuples = 5000;
+  config.domain_size = 50;
+  config.seed = 9;
+  const Relation rel = GenerateKeyedCategorical(config);
+  const CategoricalDomain domain =
+      CategoricalDomain::FromRelationColumn(rel, 1).value();
+  const ValueIndexColumn serial = ValueIndexColumn::Build(rel, 1, domain, 1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const ValueIndexColumn parallel =
+        ValueIndexColumn::Build(rel, 1, domain, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t j = 0; j < serial.size(); ++j) {
+      ASSERT_EQ(parallel.index(j), serial.index(j)) << "row " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace catmark

@@ -268,6 +268,13 @@ int RunDetect(const Flags& flags) {
 
   const OwnershipDecision decision = DecideOwnership(
       wm.value(), detection->wm, flags.GetDouble("alpha", 1e-3));
+  if (options.payload_length == 0) {
+    std::fprintf(stderr,
+                 "catmark: warning: --payload-length not given; derived %zu "
+                 "from the suspect relation — wrong if tuples were "
+                 "added/removed since embedding (see the embed report)\n",
+                 detection->payload_length);
+  }
   std::printf("decoded mark : %s\n", detection->wm.ToString().c_str());
   std::printf("owner's mark : %s\n", wm.value().ToString().c_str());
   std::printf(
