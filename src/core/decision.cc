@@ -1,5 +1,7 @@
 #include "core/decision.h"
 
+#include <cmath>
+
 #include "common/check.h"
 #include "random/stats.h"
 
@@ -7,10 +9,22 @@ namespace catmark {
 
 std::size_t RequiredMatchThreshold(std::size_t wm_len, double alpha) {
   CATMARK_CHECK(alpha > 0.0 && alpha < 1.0);
-  for (std::size_t m = 0; m <= wm_len; ++m) {
-    if (BinomialTailAtLeast(wm_len, m, 0.5) <= alpha) return m;
+  // P[Binomial(len, 1/2) >= m] grows monotonically as m decreases, so the
+  // acceptable match counts form a suffix {m*, ..., len}. Walk m downwards,
+  // accumulating the tail one pmf term at a time (terms are added smallest
+  // first, which also keeps the sum accurate): O(len) log-gamma evaluations
+  // total instead of one full O(len) tail per candidate m.
+  const double log_half = std::log(0.5);
+  long double tail = 0.0L;
+  std::size_t threshold = wm_len + 1;  // unreachable bar: mark too short
+  for (std::size_t m = wm_len;; --m) {
+    tail += std::exp(LogBinomialCoefficient(wm_len, m) +
+                     static_cast<double>(wm_len) * log_half);
+    if (static_cast<double>(tail) > alpha) break;
+    threshold = m;
+    if (m == 0) break;
   }
-  return wm_len + 1;  // unreachable bar: the mark is too short for alpha
+  return threshold;
 }
 
 OwnershipDecision DecideOwnership(const BitVector& expected,

@@ -60,13 +60,21 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
     return Status::FailedPrecondition("cannot detect in an empty relation");
   }
 
-  CategoricalDomain domain;
-  if (options.domain.has_value()) {
-    domain = *options.domain;
+  // Resolve the domain without copying it: a caller-shared view, the
+  // caller-owned optional, or one recovered from the suspect data.
+  CategoricalDomain recovered_domain;
+  const CategoricalDomain* domain_ptr;
+  if (options.domain_view != nullptr) {
+    domain_ptr = options.domain_view;
+  } else if (options.domain.has_value()) {
+    domain_ptr = &*options.domain;
   } else {
     CATMARK_ASSIGN_OR_RETURN(
-        domain, CategoricalDomain::FromRelationColumn(rel, target_col));
+        recovered_domain,
+        CategoricalDomain::FromRelationColumn(rel, target_col));
+    domain_ptr = &recovered_domain;
   }
+  const CategoricalDomain& domain = *domain_ptr;
   if (domain.size() < 2) {
     return Status::FailedPrecondition("domain has fewer than 2 values");
   }
@@ -98,13 +106,28 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
   result.fit_tuples = plan.fit_count;
 
   // Domain-index view of the target column: a sweep-provided cache skips
-  // IndexOf entirely; otherwise indices are resolved lazily below — only
-  // the ~N/e fit tuples ever need one.
+  // IndexOf entirely. On a dictionary-encoded column the view is zero-copy
+  // (O(dict) remap, no row pass), so build it unconditionally; on a plain
+  // column indices are resolved lazily below — only the ~N/e fit tuples
+  // ever need one.
   const ValueIndexColumn* cached_index = options.target_index;
   if (cached_index != nullptr && cached_index->size() != rel.NumRows()) {
     return Status::InvalidArgument(
         "DetectOptions::target_index has a different row count than the "
         "suspect relation");
+  }
+  ValueIndexColumn local_index;
+  if (cached_index == nullptr && rel.store().IsDictColumn(target_col)) {
+    local_index = ValueIndexColumn::Build(rel, target_col, domain, threads);
+    cached_index = &local_index;
+  }
+
+  // Map-based detection resolves every fit tuple's key in one batch pass up
+  // front: one reused scratch buffer, heterogeneous string_view probes — no
+  // per-tuple key allocation inside the tally loop.
+  std::vector<std::uint64_t> map_index;
+  if (use_map) {
+    map_index = options.embedding_map->LookupColumn(rel, key_col, &plan.fit);
   }
 
   // Per-position vote tallies: multiple fit tuples can map to the same
@@ -124,9 +147,11 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
       if (!plan.fit[j]) continue;
       std::size_t idx;
       if (use_map) {
-        const auto found = options.embedding_map->Lookup(rel.Get(j, key_col));
-        if (!found.has_value()) continue;  // e.g. tuple added by Mallory
-        idx = *found % payload_len;
+        const std::uint64_t found = map_index[j];
+        if (found == EmbeddingMap::kNotFound) {
+          continue;  // e.g. tuple added by Mallory
+        }
+        idx = static_cast<std::size_t>(found) % payload_len;
       } else {
         idx = plan.payload_index[j];
       }

@@ -29,6 +29,12 @@ struct DetectOptions {
   /// from EmbedReport::domain).
   std::optional<CategoricalDomain> domain;
 
+  /// Non-owning alternative to `domain` for sweeps that re-detect against
+  /// one shared domain many times (e.g. the multi-attribute closure):
+  /// takes precedence over `domain` and avoids copying the value vector
+  /// per call. The pointee must outlive the Detect call.
+  const CategoricalDomain* domain_view = nullptr;
+
   /// |wm_data| used at embed time (EmbedReport::payload_length). When 0 it
   /// is re-derived from the *suspect* relation's size — fine when no tuples
   /// were added/removed, wrong after A1/A2; real deployments keep this one

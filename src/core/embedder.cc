@@ -83,12 +83,36 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
 
   // Parallel precompute: fitness hashes and (on the k2 path) payload
   // indices in one pass, plus the domain-index view of the target column so
-  // IndexOf runs once per row instead of up to twice per fit tuple.
+  // IndexOf runs once per dictionary entry instead of up to twice per fit
+  // tuple.
   const std::size_t threads =
       EffectiveThreadCount(params_.num_threads, rel.NumRows());
   const TuplePlan plan =
       BuildTuplePlan(rel, key_col, keys_, params_, payload_len,
                      !options.build_embedding_map, threads);
+
+  // Dictionary-encoded targets apply alterations as raw code writes: intern
+  // every domain value up front — before the index view is built, so its
+  // remap table covers the codes — and map domain index t to its code. When
+  // a caller-supplied domain carries values that do not match the column
+  // type, fall back to the validating Set path so the type error surfaces
+  // exactly as it used to.
+  std::vector<std::int32_t> code_of_t;
+  bool write_codes = rel.store().IsDictColumn(target_col);
+  if (write_codes) {
+    const ColumnType target_type = rel.schema().column(target_col).type;
+    for (std::size_t t = 0; t < domain_size && write_codes; ++t) {
+      write_codes = report.domain.value(t).MatchesType(target_type);
+    }
+  }
+  if (write_codes) {
+    code_of_t.resize(domain_size);
+    for (std::size_t t = 0; t < domain_size; ++t) {
+      code_of_t[t] =
+          rel.mutable_store().InternValue(target_col, report.domain.value(t));
+    }
+  }
+
   const ValueIndexColumn target_index =
       ValueIndexColumn::Build(rel, target_col, report.domain, threads);
 
@@ -157,6 +181,8 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
         ++report.skipped_by_quality;
         continue;
       }
+    } else if (write_codes) {
+      rel.mutable_store().SetCode(j, target_col, code_of_t[t]);
     } else {
       CATMARK_RETURN_IF_ERROR(rel.Set(j, target_col, new_value));
     }

@@ -1,27 +1,76 @@
 #include "core/embedding_map.h"
 
 #include <charconv>
-#include <vector>
 
 #include "common/hex.h"
 #include "common/str_util.h"
 
 namespace catmark {
 
-std::string EmbeddingMap::KeyOf(const Value& pk) {
-  std::vector<std::uint8_t> bytes;
-  pk.SerializeForHash(bytes);
-  return std::string(bytes.begin(), bytes.end());
+std::string_view EmbeddingMap::SerializeKey(
+    const Value& pk, std::vector<std::uint8_t>& scratch) {
+  return pk.SerializeKeyInto(scratch);
 }
 
 void EmbeddingMap::Insert(const Value& pk, std::size_t idx) {
-  map_[KeyOf(pk)] = idx;
+  // The embed apply pass calls this once per fit tuple: probe with a view
+  // over the reused scratch buffer and only materialize an owned key string
+  // for first-time inserts.
+  const std::string_view key = pk.SerializeKeyInto(insert_scratch_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second = idx;
+    return;
+  }
+  map_.emplace(std::string(key), idx);
 }
 
 std::optional<std::size_t> EmbeddingMap::Lookup(const Value& pk) const {
-  const auto it = map_.find(KeyOf(pk));
+  std::vector<std::uint8_t> scratch;
+  return Lookup(SerializeKey(pk, scratch));
+}
+
+std::optional<std::size_t> EmbeddingMap::Lookup(
+    std::string_view serialized_pk) const {
+  const auto it = map_.find(serialized_pk);
   if (it == map_.end()) return std::nullopt;
   return it->second;
+}
+
+std::vector<std::uint64_t> EmbeddingMap::LookupColumn(
+    const Relation& rel, std::size_t col,
+    const std::vector<std::uint8_t>* mask) const {
+  const std::size_t n = rel.NumRows();
+  std::vector<std::uint64_t> out(n, kNotFound);
+  std::vector<std::uint8_t> scratch;
+  scratch.reserve(64);
+
+  if (rel.store().IsDictColumn(col)) {
+    // Probe each distinct key once, then fan the result out by code.
+    const std::vector<Value>& dict = rel.store().Dict(col);
+    const std::vector<std::int32_t>& codes = rel.store().Codes(col);
+    const std::vector<std::int64_t>& live = rel.store().DictLiveCounts(col);
+    std::vector<std::uint64_t> by_code(dict.size(), kNotFound);
+    for (std::size_t code = 0; code < dict.size(); ++code) {
+      if (live[code] == 0) continue;  // dead entry: no row references it
+      const auto found = Lookup(SerializeKey(dict[code], scratch));
+      if (found.has_value()) by_code[code] = *found;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask != nullptr && !(*mask)[j]) continue;
+      if (codes[j] >= 0) out[j] = by_code[static_cast<std::size_t>(codes[j])];
+    }
+    return out;
+  }
+
+  const std::vector<Value>& values = rel.store().PlainValues(col);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (mask != nullptr && !(*mask)[j]) continue;
+    if (values[j].is_null()) continue;
+    const auto found = Lookup(SerializeKey(values[j], scratch));
+    if (found.has_value()) out[j] = *found;
+  }
+  return out;
 }
 
 std::string EmbeddingMap::Serialize() const {
@@ -59,8 +108,12 @@ Result<EmbeddingMap> EmbeddingMap::Deserialize(std::string_view text) {
     if (ec != std::errc() || ptr != idx_text.data() + idx_text.size()) {
       return Status::InvalidArgument("embedding map line has bad index");
     }
-    map.map_[std::string(key_bytes.value().begin(),
-                         key_bytes.value().end())] = idx;
+    std::string key(key_bytes.value().begin(), key_bytes.value().end());
+    if (!map.map_.emplace(std::move(key), idx).second) {
+      return Status::InvalidArgument(
+          "embedding map has a duplicate key: " +
+          std::string(line.substr(0, comma)));
+    }
   }
   return map;
 }

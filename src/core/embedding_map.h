@@ -2,12 +2,16 @@
 #define CATMARK_CORE_EMBEDDING_MAP_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
+#include "relation/relation.h"
 #include "relation/value.h"
 
 namespace catmark {
@@ -17,8 +21,17 @@ namespace catmark {
 /// embedded in that tuple (~N/e entries). Using it at detection recovers
 /// every bit exactly and removes the need for the second key k2, at the cost
 /// of keeping owner-side state.
+///
+/// Keys are the canonical hash serialization of the PK value (so INT64 7 and
+/// STRING "7" stay distinct), held in a transparent-hash map: lookups probe
+/// with a std::string_view over a caller-owned scratch buffer, so the detect
+/// hot loop performs no per-tuple heap allocation.
 class EmbeddingMap {
  public:
+  /// Sentinel returned by LookupColumn for rows whose key is absent.
+  static constexpr std::uint64_t kNotFound =
+      std::numeric_limits<std::uint64_t>::max();
+
   EmbeddingMap() = default;
 
   /// Associates the tuple whose key attribute equals `pk` with wm_data
@@ -28,19 +41,45 @@ class EmbeddingMap {
   /// Index for `pk`, or nullopt when the tuple was not embedded.
   std::optional<std::size_t> Lookup(const Value& pk) const;
 
+  /// Heterogeneous variant: looks up an already-serialized key (the bytes
+  /// SerializeKey produces) without building a std::string.
+  std::optional<std::size_t> Lookup(std::string_view serialized_pk) const;
+
+  /// Serializes `pk` into `scratch` (cleared first) and returns a view of
+  /// the bytes — the allocation-free feeder for Lookup(string_view).
+  static std::string_view SerializeKey(const Value& pk,
+                                       std::vector<std::uint8_t>& scratch);
+
+  /// Batch path for the detect loop: resolves every row of `rel`'s column
+  /// `col` in one pass, writing the found index (or kNotFound) per row.
+  /// Rows where `mask` (when non-null, sized NumRows) is 0 are skipped and
+  /// reported kNotFound — the detector passes the fitness bitmap so only
+  /// the ~N/e fit tuples are probed. One scratch buffer is reused across
+  /// rows; dictionary-encoded key columns are probed once per distinct
+  /// dictionary code instead of once per row.
+  std::vector<std::uint64_t> LookupColumn(
+      const Relation& rel, std::size_t col,
+      const std::vector<std::uint8_t>* mask = nullptr) const;
+
   std::size_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }
 
   /// Owner-side persistence: one "hex(pk-bytes),index" line per entry.
   std::string Serialize() const;
+
+  /// Parses Serialize output. Duplicate keys are rejected with
+  /// InvalidArgument: two entries for one PK mean the file is corrupt or
+  /// hand-edited, and silently keeping the later one would make the
+  /// detector vote on a position the embedder never wrote for that tuple.
   static Result<EmbeddingMap> Deserialize(std::string_view text);
 
  private:
-  static std::string KeyOf(const Value& pk);
-
-  // Keyed by the canonical hash serialization of the PK value, so INT64 7
-  // and STRING "7" stay distinct.
-  std::unordered_map<std::string, std::size_t> map_;
+  std::unordered_map<std::string, std::size_t, TransparentStringHash,
+                     std::equal_to<>>
+      map_;
+  // Reused serialization buffer for Insert (single-threaded embed apply
+  // pass; never read by const lookups).
+  std::vector<std::uint8_t> insert_scratch_;
 };
 
 }  // namespace catmark

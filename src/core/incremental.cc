@@ -29,12 +29,14 @@ Result<Value> IncrementalWatermarker::MarkedValueFor(const Value& key_value,
   fit = false;
   if (key_value.is_null()) return Value();
   const FitnessSelector fitness(keys_.k1, params_.e, params_.hash_algo);
-  const std::uint64_t h1 = fitness.KeyHash(key_value);
+  HashScratch scratch;
+  scratch.reserve(64);
+  const std::uint64_t h1 = fitness.KeyHash(key_value, scratch);
   if (h1 % params_.e != 0) return Value();
   fit = true;
   const KeyedHasher position_hasher(keys_.k2, params_.hash_algo);
   const std::size_t idx =
-      PayloadIndexFromHash(HashValue(position_hasher, key_value),
+      PayloadIndexFromHash(HashValue(position_hasher, key_value, scratch),
                            payload_length_, params_.bit_index_mode);
   const std::size_t t =
       SelectValueIndex(h1, domain_.size(), wm_data_.Get(idx));
@@ -66,7 +68,9 @@ Result<bool> IncrementalWatermarker::Refresh(Relation& rel,
   bool fit = false;
   CATMARK_ASSIGN_OR_RETURN(
       const Value marked, MarkedValueFor(rel.Get(row_index, key_col), fit));
-  if (fit) {
+  // Skip the store write when the cell already carries the marked value —
+  // the common case when refreshing an already-watermarked relation.
+  if (fit && !(rel.Get(row_index, target_col) == marked)) {
     CATMARK_RETURN_IF_ERROR(rel.Set(row_index, target_col, marked));
   }
   return fit;

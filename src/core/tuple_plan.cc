@@ -26,6 +26,71 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
   }
 
   const std::size_t threads = EffectiveThreadCount(num_threads, n);
+  const ColumnStore& store = rel.store();
+
+  if (store.IsDictColumn(key_col)) {
+    // Dictionary-encoded key column (the cross-categorical passes of the
+    // multi-attribute closure): every row with the same key value hashes
+    // identically, so hash each distinct dictionary entry once and fan the
+    // verdicts out through the code vector — |dict| keyed hashes instead
+    // of N.
+    const std::vector<Value>& dict = store.Dict(key_col);
+    const std::vector<std::int32_t>& codes = store.Codes(key_col);
+    const std::vector<std::int64_t>& live = store.DictLiveCounts(key_col);
+    std::vector<std::uint64_t> h1_of(dict.size(), 0);
+    std::vector<std::uint8_t> fit_of(dict.size(), 0);
+    std::vector<std::uint32_t> index_of(with_payload_index ? dict.size() : 0,
+                                        0);
+    // The keyed hashing dominates, and a near-unique categorical key means
+    // |dict| ~ N — shard it like the plain path so plan build keeps its
+    // multi-core scaling.
+    ParallelFor(dict.size(),
+                EffectiveThreadCount(num_threads, dict.size()),
+                [&](std::size_t /*shard*/, std::size_t begin,
+                    std::size_t end) {
+                  const FitnessSelector fitness(keys.k1, params.e,
+                                                params.hash_algo);
+                  const KeyedHasher position_hasher(keys.k2,
+                                                    params.hash_algo);
+                  HashScratch scratch;
+                  scratch.reserve(64);
+                  for (std::size_t code = begin; code < end; ++code) {
+                    // Dead entries (live count 0) have no referencing row.
+                    if (live[code] == 0) continue;
+                    const std::uint64_t h1 =
+                        fitness.KeyHash(dict[code], scratch);
+                    if (h1 % params.e != 0) continue;
+                    fit_of[code] = 1;
+                    h1_of[code] = h1;
+                    if (with_payload_index) {
+                      index_of[code] =
+                          static_cast<std::uint32_t>(PayloadIndexFromHash(
+                              HashValue(position_hasher, dict[code], scratch),
+                              payload_len, params.bit_index_mode));
+                    }
+                  }
+                });
+    std::vector<std::size_t> shard_fit(threads, 0);
+    ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
+                                std::size_t end) {
+      std::size_t local_fit = 0;
+      for (std::size_t j = begin; j < end; ++j) {
+        const std::int32_t code = codes[j];
+        if (code < 0 || !fit_of[static_cast<std::size_t>(code)]) continue;
+        plan.fit[j] = 1;
+        plan.h1[j] = h1_of[static_cast<std::size_t>(code)];
+        ++local_fit;
+        if (with_payload_index) {
+          plan.payload_index[j] = index_of[static_cast<std::size_t>(code)];
+        }
+      }
+      shard_fit[shard] = local_fit;
+    });
+    for (const std::size_t f : shard_fit) plan.fit_count += f;
+    return plan;
+  }
+
+  const std::vector<Value>& key_values = store.PlainValues(key_col);
   std::vector<std::size_t> shard_fit(threads, 0);
   ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
                               std::size_t end) {
@@ -37,7 +102,7 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
     scratch.reserve(64);
     std::size_t local_fit = 0;
     for (std::size_t j = begin; j < end; ++j) {
-      const Value& key_value = rel.Get(j, key_col);
+      const Value& key_value = key_values[j];
       if (key_value.is_null()) continue;
       const std::uint64_t h1 = fitness.KeyHash(key_value, scratch);
       if (h1 % params.e != 0) continue;

@@ -1,0 +1,237 @@
+#include "relation/column_store.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace catmark {
+
+const Value& NullValue() {
+  static const Value kNull;
+  return kNull;
+}
+
+ColumnStore::ColumnStore(const Schema& schema) {
+  columns_.reserve(schema.num_columns());
+  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).categorical) {
+      columns_.emplace_back(DictColumn{});
+    } else {
+      columns_.emplace_back(PlainColumn{});
+    }
+  }
+}
+
+void ColumnStore::Reserve(std::size_t n) {
+  for (auto& col : columns_) {
+    if (auto* d = std::get_if<DictColumn>(&col)) {
+      d->codes.reserve(n);
+    } else {
+      std::get<PlainColumn>(col).values.reserve(n);
+    }
+  }
+}
+
+std::int32_t ColumnStore::Intern(DictColumn& c, const Value& v) {
+  const std::string_view key = v.SerializeKeyInto(scratch_);
+  const auto it = c.code_of.find(key);
+  if (it != c.code_of.end()) return it->second;
+  CATMARK_CHECK_LT(c.dict.size(),
+                   static_cast<std::size_t>(
+                       std::numeric_limits<std::int32_t>::max()));
+  const std::int32_t code = static_cast<std::int32_t>(c.dict.size());
+  c.dict.push_back(v);
+  c.live.push_back(0);
+  c.code_of.emplace(std::string(key), code);
+  return code;
+}
+
+void ColumnStore::AppendRow(Row row) {
+  CATMARK_CHECK_EQ(row.size(), columns_.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (auto* d = std::get_if<DictColumn>(&columns_[i])) {
+      if (row[i].is_null()) {
+        d->codes.push_back(kNullCode);
+      } else {
+        const std::int32_t code = Intern(*d, row[i]);
+        d->codes.push_back(code);
+        ++d->live[static_cast<std::size_t>(code)];
+      }
+    } else {
+      std::get<PlainColumn>(columns_[i]).values.push_back(std::move(row[i]));
+    }
+  }
+  ++num_rows_;
+}
+
+void ColumnStore::AppendRowsFrom(const ColumnStore& src,
+                                 const std::vector<std::size_t>& indices) {
+  CATMARK_CHECK(this != &src) << "self-append requires the row path";
+  CATMARK_CHECK_EQ(columns_.size(), src.columns_.size());
+  // One validation pass; the per-column copy loops below can then index
+  // unchecked.
+  for (const std::size_t i : indices) CATMARK_CHECK_LT(i, src.num_rows_);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    CATMARK_CHECK_EQ(std::holds_alternative<DictColumn>(columns_[c]),
+                     std::holds_alternative<DictColumn>(src.columns_[c]));
+    if (auto* d = std::get_if<DictColumn>(&columns_[c])) {
+      const DictColumn& s = std::get<DictColumn>(src.columns_[c]);
+      // Lazily translate source codes: each referenced dictionary entry is
+      // interned once, however many rows carry it.
+      constexpr std::int32_t kUntranslated = -2;
+      std::vector<std::int32_t> xlate(s.dict.size(), kUntranslated);
+      d->codes.reserve(d->codes.size() + indices.size());
+      for (const std::size_t i : indices) {
+        const std::int32_t code = s.codes[i];
+        if (code < 0) {
+          d->codes.push_back(kNullCode);
+          continue;
+        }
+        std::int32_t& mapped = xlate[static_cast<std::size_t>(code)];
+        if (mapped == kUntranslated) {
+          mapped = Intern(*d, s.dict[static_cast<std::size_t>(code)]);
+        }
+        d->codes.push_back(mapped);
+        ++d->live[static_cast<std::size_t>(mapped)];
+      }
+    } else {
+      auto& values = std::get<PlainColumn>(columns_[c]).values;
+      const auto& s = std::get<PlainColumn>(src.columns_[c]).values;
+      values.reserve(values.size() + indices.size());
+      for (const std::size_t i : indices) values.push_back(s[i]);
+    }
+  }
+  num_rows_ += indices.size();
+}
+
+const Value& ColumnStore::Get(std::size_t row, std::size_t col) const {
+  CATMARK_CHECK_LT(row, num_rows_);
+  CATMARK_CHECK_LT(col, columns_.size());
+  if (const auto* d = std::get_if<DictColumn>(&columns_[col])) {
+    const std::int32_t c = d->codes[row];
+    return c < 0 ? NullValue() : d->dict[static_cast<std::size_t>(c)];
+  }
+  return std::get<PlainColumn>(columns_[col]).values[row];
+}
+
+void ColumnStore::Set(std::size_t row, std::size_t col, Value v) {
+  CATMARK_CHECK_LT(row, num_rows_);
+  CATMARK_CHECK_LT(col, columns_.size());
+  if (auto* d = std::get_if<DictColumn>(&columns_[col])) {
+    const std::int32_t code = v.is_null() ? kNullCode : Intern(*d, v);
+    const std::int32_t old = d->codes[row];
+    if (old >= 0) --d->live[static_cast<std::size_t>(old)];
+    if (code >= 0) ++d->live[static_cast<std::size_t>(code)];
+    d->codes[row] = code;
+    return;
+  }
+  std::get<PlainColumn>(columns_[col]).values[row] = std::move(v);
+}
+
+void ColumnStore::SwapRemoveRow(std::size_t i) {
+  CATMARK_CHECK_LT(i, num_rows_);
+  const std::size_t last = num_rows_ - 1;
+  for (auto& col : columns_) {
+    if (auto* d = std::get_if<DictColumn>(&col)) {
+      const std::int32_t removed = d->codes[i];
+      if (removed >= 0) --d->live[static_cast<std::size_t>(removed)];
+      d->codes[i] = d->codes[last];
+      d->codes.pop_back();
+    } else {
+      auto& values = std::get<PlainColumn>(col).values;
+      values[i] = std::move(values[last]);
+      values.pop_back();
+    }
+  }
+  --num_rows_;
+}
+
+Row ColumnStore::MaterializeRow(std::size_t i) const {
+  CATMARK_CHECK_LT(i, num_rows_);
+  Row row;
+  row.reserve(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) row.push_back(Get(i, c));
+  return row;
+}
+
+bool ColumnStore::IsDictColumn(std::size_t col) const {
+  CATMARK_CHECK_LT(col, columns_.size());
+  return std::holds_alternative<DictColumn>(columns_[col]);
+}
+
+ColumnStore::DictColumn& ColumnStore::dict_column(std::size_t col) {
+  CATMARK_CHECK_LT(col, columns_.size());
+  auto* d = std::get_if<DictColumn>(&columns_[col]);
+  CATMARK_CHECK(d != nullptr) << "column " << col << " is not dict-encoded";
+  return *d;
+}
+
+const ColumnStore::DictColumn& ColumnStore::dict_column(
+    std::size_t col) const {
+  CATMARK_CHECK_LT(col, columns_.size());
+  const auto* d = std::get_if<DictColumn>(&columns_[col]);
+  CATMARK_CHECK(d != nullptr) << "column " << col << " is not dict-encoded";
+  return *d;
+}
+
+const std::vector<std::int32_t>& ColumnStore::Codes(std::size_t col) const {
+  return dict_column(col).codes;
+}
+
+const std::vector<Value>& ColumnStore::Dict(std::size_t col) const {
+  return dict_column(col).dict;
+}
+
+const std::vector<std::int64_t>& ColumnStore::DictLiveCounts(
+    std::size_t col) const {
+  return dict_column(col).live;
+}
+
+const std::vector<Value>& ColumnStore::PlainValues(std::size_t col) const {
+  CATMARK_CHECK_LT(col, columns_.size());
+  const auto* p = std::get_if<PlainColumn>(&columns_[col]);
+  CATMARK_CHECK(p != nullptr) << "column " << col << " is dict-encoded";
+  return p->values;
+}
+
+std::int32_t ColumnStore::InternValue(std::size_t col, const Value& v) {
+  if (v.is_null()) return kNullCode;
+  return Intern(dict_column(col), v);
+}
+
+std::int32_t ColumnStore::CodeOf(std::size_t col, const Value& v) const {
+  if (v.is_null()) return kNullCode;
+  const DictColumn& d = dict_column(col);
+  std::vector<std::uint8_t> scratch;
+  const auto it = d.code_of.find(v.SerializeKeyInto(scratch));
+  return it == d.code_of.end() ? kNullCode : it->second;
+}
+
+std::int32_t ColumnStore::GetCode(std::size_t row, std::size_t col) const {
+  CATMARK_CHECK_LT(row, num_rows_);
+  return dict_column(col).codes[row];
+}
+
+void ColumnStore::SetCode(std::size_t row, std::size_t col,
+                          std::int32_t code) {
+  CATMARK_CHECK_LT(row, num_rows_);
+  DictColumn& d = dict_column(col);
+  CATMARK_CHECK(code >= kNullCode &&
+                code < static_cast<std::int32_t>(d.dict.size()));
+  const std::int32_t old = d.codes[row];
+  if (old >= 0) --d.live[static_cast<std::size_t>(old)];
+  if (code >= 0) ++d.live[static_cast<std::size_t>(code)];
+  d.codes[row] = code;
+}
+
+ColumnReader::ColumnReader(const ColumnStore& store, std::size_t col) {
+  if (store.IsDictColumn(col)) {
+    codes_ = &store.Codes(col);
+    dict_ = &store.Dict(col);
+  } else {
+    values_ = &store.PlainValues(col);
+  }
+}
+
+}  // namespace catmark

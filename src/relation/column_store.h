@@ -1,0 +1,173 @@
+#ifndef CATMARK_RELATION_COLUMN_STORE_H_
+#define CATMARK_RELATION_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace catmark {
+
+/// Transparent string hash: lets std::string-keyed maps probe with a
+/// std::string_view (or char*) without materializing a key copy.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// The shared NULL value — Get on a NULL cell returns a reference to this.
+const Value& NullValue();
+
+/// Column-major tuple storage behind Relation.
+///
+/// Each categorical column is dictionary-encoded: cells are int32 codes into
+/// a per-column dictionary of distinct values (code kNullCode marks NULL),
+/// interned through a transparent-hash map over the values' canonical hash
+/// serialization. The dictionary also tracks a live-occurrence count per
+/// code, so "which distinct values are present, and how often" — domain
+/// recovery, frequency histograms, the embedder's category-draining guard —
+/// costs O(dictionary) instead of a full O(N) column scan.
+///
+/// Non-categorical columns (keys, measures) fall back to a plain
+/// column-major std::vector<Value>: their values are mostly distinct, so a
+/// dictionary would just add an indirection on every access.
+///
+/// Sion's channel is per-tuple-per-attribute, which makes the embed/detect
+/// hot loops stream exactly one column at a time; the int32 code arrays keep
+/// those passes cache-resident where row-of-Value storage thrashed.
+class ColumnStore {
+ public:
+  static constexpr std::int32_t kNullCode = -1;
+
+  ColumnStore() = default;
+
+  /// Lays out one column per schema attribute: dictionary-encoded when
+  /// `categorical`, plain otherwise.
+  explicit ColumnStore(const Schema& schema);
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  void Reserve(std::size_t n);
+
+  /// Appends a tuple; `row.size()` must equal num_columns() (checked).
+  void AppendRow(Row row);
+
+  /// Bulk-appends rows `indices` of `src`, which must have the same column
+  /// layout (checked) and not be this store. Dictionary columns intern each
+  /// *referenced* source dictionary entry once and translate codes;
+  /// fallback columns copy values — no per-cell re-serialization, unlike
+  /// the row-at-a-time path.
+  void AppendRowsFrom(const ColumnStore& src,
+                      const std::vector<std::size_t>& indices);
+
+  /// Cell value; NULL cells return NullValue(). The reference is valid until
+  /// the cell (or, for dictionary columns, the dictionary) is next mutated.
+  const Value& Get(std::size_t row, std::size_t col) const;
+
+  /// Overwrites one cell (no type validation — Relation layers that on top).
+  void Set(std::size_t row, std::size_t col, Value v);
+
+  /// Removes row `i` by swapping the last row into its slot: O(columns).
+  void SwapRemoveRow(std::size_t i);
+
+  /// Materializes row `i` as a Row of Value copies.
+  Row MaterializeRow(std::size_t i) const;
+
+  // --- Columnar access (the hot-path surface) ------------------------------
+
+  bool IsDictColumn(std::size_t col) const;
+
+  /// Per-row dictionary codes of a dictionary column. The returned vector's
+  /// identity is stable across Set/Intern (only elements change); it grows /
+  /// shrinks with AppendRow / SwapRemoveRow.
+  const std::vector<std::int32_t>& Codes(std::size_t col) const;
+
+  /// code -> value dictionary of a dictionary column. Append-only: codes are
+  /// never recycled, so an entry may outlive its last occurrence (its live
+  /// count drops to 0 instead).
+  const std::vector<Value>& Dict(std::size_t col) const;
+
+  /// Rows currently holding each code (parallel to Dict). Entries with a
+  /// zero count are "dead": interned but not present in any row.
+  const std::vector<std::int64_t>& DictLiveCounts(std::size_t col) const;
+
+  /// Plain (non-dictionary) column values, one per row.
+  const std::vector<Value>& PlainValues(std::size_t col) const;
+
+  /// Interns `v` into `col`'s dictionary without touching any row; returns
+  /// its code. NULL interns as kNullCode.
+  std::int32_t InternValue(std::size_t col, const Value& v);
+
+  /// Code of `v` in `col`'s dictionary, or kNullCode when absent/NULL.
+  std::int32_t CodeOf(std::size_t col, const Value& v) const;
+
+  /// Cell code of a dictionary column (kNullCode for NULL cells).
+  std::int32_t GetCode(std::size_t row, std::size_t col) const;
+
+  /// Overwrites a dictionary cell by code; `code` must be kNullCode or a
+  /// valid code for `col` (checked).
+  void SetCode(std::size_t row, std::size_t col, std::int32_t code);
+
+ private:
+  struct DictColumn {
+    std::vector<std::int32_t> codes;   // per-row; kNullCode == NULL
+    std::vector<Value> dict;           // code -> value, append-only
+    std::vector<std::int64_t> live;    // code -> rows currently holding it
+    // Canonical hash serialization of each dict value -> its code.
+    std::unordered_map<std::string, std::int32_t, TransparentStringHash,
+                       std::equal_to<>>
+        code_of;
+  };
+  struct PlainColumn {
+    std::vector<Value> values;  // per-row
+  };
+
+  DictColumn& dict_column(std::size_t col);
+  const DictColumn& dict_column(std::size_t col) const;
+
+  std::int32_t Intern(DictColumn& c, const Value& v);
+
+  std::vector<std::variant<DictColumn, PlainColumn>> columns_;
+  std::size_t num_rows_ = 0;
+  // Reused serialization buffer for intern probes (single-threaded mutation
+  // path; readers never touch it).
+  std::vector<std::uint8_t> scratch_;
+};
+
+/// Cheap positional cursor over one column for hot loops: resolves the
+/// dict-vs-plain branch once at construction, then reads row values with two
+/// indexed loads. `store` must outlive the reader.
+class ColumnReader {
+ public:
+  ColumnReader(const ColumnStore& store, std::size_t col);
+
+  const Value& operator[](std::size_t row) const {
+    if (codes_ != nullptr) {
+      const std::int32_t c = (*codes_)[row];
+      return c < 0 ? NullValue() : (*dict_)[static_cast<std::size_t>(c)];
+    }
+    return (*values_)[row];
+  }
+
+  bool is_dict() const { return codes_ != nullptr; }
+  const std::vector<std::int32_t>& codes() const { return *codes_; }
+  const std::vector<Value>& dict() const { return *dict_; }
+
+ private:
+  const std::vector<std::int32_t>* codes_ = nullptr;
+  const std::vector<Value>* dict_ = nullptr;
+  const std::vector<Value>* values_ = nullptr;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_RELATION_COLUMN_STORE_H_

@@ -71,7 +71,10 @@ bool NextRecord(std::string_view text, std::size_t& pos,
     }
   }
   if (in_quotes) {
-    status = Status::IoError("CSV: unterminated quoted field");
+    // Input ended inside an open quote: the record is structurally invalid,
+    // not an I/O failure — treating it as a complete record would silently
+    // swallow a truncated file.
+    status = Status::InvalidArgument("CSV: unterminated quoted field");
     return false;
   }
   if (!any) return false;
@@ -84,15 +87,44 @@ bool NextRecord(std::string_view text, std::size_t& pos,
 std::string WriteCsvString(const Relation& rel) {
   std::string out;
   const Schema& schema = rel.schema();
-  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+  const std::size_t num_cols = schema.num_columns();
+  for (std::size_t c = 0; c < num_cols; ++c) {
     if (c > 0) out.push_back(',');
     AppendField(schema.column(c).name, out);
   }
   out.push_back('\n');
+
+  // Dictionary columns render (and quote-escape) each distinct value once;
+  // rows then copy the memoized text by code. Column encodings are resolved
+  // once here, not per cell in the row loop.
+  std::vector<std::vector<std::string>> rendered(num_cols);
+  std::vector<const std::vector<std::int32_t>*> codes(num_cols, nullptr);
+  std::vector<const std::vector<Value>*> plain(num_cols, nullptr);
+  for (std::size_t c = 0; c < num_cols; ++c) {
+    if (!rel.store().IsDictColumn(c)) {
+      plain[c] = &rel.store().PlainValues(c);
+      continue;
+    }
+    codes[c] = &rel.store().Codes(c);
+    const std::vector<Value>& dict = rel.store().Dict(c);
+    rendered[c].reserve(dict.size());
+    for (const Value& v : dict) {
+      std::string field;
+      AppendField(v.ToString(), field);
+      rendered[c].push_back(std::move(field));
+    }
+  }
+
   for (std::size_t r = 0; r < rel.NumRows(); ++r) {
-    for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+    for (std::size_t c = 0; c < num_cols; ++c) {
       if (c > 0) out.push_back(',');
-      AppendField(rel.Get(r, c).ToString(), out);
+      if (codes[c] != nullptr) {
+        const std::int32_t code = (*codes[c])[r];
+        if (code >= 0) out.append(rendered[c][static_cast<std::size_t>(code)]);
+        // NULL renders as the empty field.
+      } else {
+        AppendField((*plain[c])[r].ToString(), out);
+      }
     }
     out.push_back('\n');
   }

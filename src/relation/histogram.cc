@@ -17,6 +17,22 @@ Result<FrequencyHistogram> FrequencyHistogram::Compute(
   FrequencyHistogram h;
   h.domain_ = domain;
   h.counts_.assign(domain.size(), 0);
+  if (rel.store().IsDictColumn(col)) {
+    // Aggregate the dictionary's live counts straight into domain bins:
+    // O(dict) IndexOf calls, no row scan.
+    const std::vector<Value>& dict = rel.store().Dict(col);
+    const std::vector<std::int64_t>& live = rel.store().DictLiveCounts(col);
+    for (std::size_t code = 0; code < dict.size(); ++code) {
+      if (live[code] == 0) continue;
+      const auto t = domain.IndexOf(dict[code]);
+      if (t.has_value()) {
+        h.counts_[*t] += static_cast<std::size_t>(live[code]);
+        h.total_ += static_cast<std::size_t>(live[code]);
+      }
+    }
+    h.out_of_domain_ = rel.NumRows() - h.total_;
+    return h;
+  }
   for (std::size_t i = 0; i < rel.NumRows(); ++i) {
     const Value& v = rel.Get(i, col);
     if (v.is_null()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "random/distributions.h"
 
 namespace catmark {
@@ -45,10 +46,8 @@ Result<Relation> SampleRows(const Relation& rel, double fraction,
       std::ceil(fraction * static_cast<double>(rel.NumRows())));
   Relation out(rel.schema());
   out.Reserve(keep);
-  for (std::size_t i :
-       SampleWithoutReplacement(rel.NumRows(), keep, rng)) {
-    out.AppendRowUnchecked(rel.row(i));
-  }
+  CATMARK_RETURN_IF_ERROR(out.AppendRowsFrom(
+      rel, SampleWithoutReplacement(rel.NumRows(), keep, rng)));
   return out;
 }
 
@@ -58,7 +57,8 @@ Relation ShuffleRows(const Relation& rel, Xoshiro256ss& rng) {
   Shuffle(order, rng);
   Relation out(rel.schema());
   out.Reserve(rel.NumRows());
-  for (std::size_t i : order) out.AppendRowUnchecked(rel.row(i));
+  const Status s = out.AppendRowsFrom(rel, order);
+  CATMARK_CHECK(s.ok()) << s.ToString();  // schemas equal by construction
   return out;
 }
 
@@ -75,7 +75,7 @@ Result<Relation> SortByColumn(const Relation& rel, std::size_t col) {
                    });
   Relation out(rel.schema());
   out.Reserve(rel.NumRows());
-  for (std::size_t i : order) out.AppendRowUnchecked(rel.row(i));
+  CATMARK_RETURN_IF_ERROR(out.AppendRowsFrom(rel, order));
   return out;
 }
 
@@ -83,11 +83,10 @@ Status AppendAll(Relation& base, const Relation& extra) {
   if (!(base.schema() == extra.schema())) {
     return Status::InvalidArgument("schema mismatch in AppendAll");
   }
+  std::vector<std::size_t> all(extra.NumRows());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
   base.Reserve(base.NumRows() + extra.NumRows());
-  for (std::size_t i = 0; i < extra.NumRows(); ++i) {
-    base.AppendRowUnchecked(extra.row(i));
-  }
-  return Status::OK();
+  return base.AppendRowsFrom(extra, all);
 }
 
 }  // namespace catmark

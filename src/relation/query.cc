@@ -5,9 +5,21 @@ namespace catmark {
 Result<std::size_t> CountWhere(const Relation& rel, const EqPredicate& pred) {
   CATMARK_ASSIGN_OR_RETURN(const std::size_t col,
                            rel.schema().ColumnIndexOrError(pred.column));
+  // On a dictionary column an equality predicate is one intern probe plus
+  // the live count. Doubles are excluded: interning is bit-exact while
+  // Value::Compare is numeric, so -0.0/0.0 (and NaN) would count
+  // differently here than in the scan path below.
+  if (rel.store().IsDictColumn(col) && !pred.value.is_null() &&
+      !pred.value.is_double()) {
+    const std::int32_t code = rel.store().CodeOf(col, pred.value);
+    if (code < 0) return std::size_t{0};
+    return static_cast<std::size_t>(
+        rel.store().DictLiveCounts(col)[static_cast<std::size_t>(code)]);
+  }
+  const ColumnReader reader(rel.store(), col);
   std::size_t count = 0;
   for (std::size_t i = 0; i < rel.NumRows(); ++i) {
-    if (rel.Get(i, col) == pred.value) ++count;
+    if (reader[i] == pred.value) ++count;
   }
   return count;
 }
@@ -18,9 +30,11 @@ Result<std::size_t> CountWhereBoth(const Relation& rel, const EqPredicate& a,
                            rel.schema().ColumnIndexOrError(a.column));
   CATMARK_ASSIGN_OR_RETURN(const std::size_t col_b,
                            rel.schema().ColumnIndexOrError(b.column));
+  const ColumnReader reader_a(rel.store(), col_a);
+  const ColumnReader reader_b(rel.store(), col_b);
   std::size_t count = 0;
   for (std::size_t i = 0; i < rel.NumRows(); ++i) {
-    if (rel.Get(i, col_a) == a.value && rel.Get(i, col_b) == b.value) {
+    if (reader_a[i] == a.value && reader_b[i] == b.value) {
       ++count;
     }
   }

@@ -1,6 +1,7 @@
 #include "relation/relation.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 
@@ -18,60 +19,86 @@ Status Relation::AppendRow(Row row) {
           "value for column '" + schema_.column(i).name + "' has wrong type");
     }
   }
-  rows_.push_back(std::move(row));
+  store_.AppendRow(std::move(row));
   return Status::OK();
 }
 
-const Row& Relation::row(std::size_t i) const {
-  CATMARK_CHECK_LT(i, rows_.size());
-  return rows_[i];
-}
-
-Row& Relation::mutable_row(std::size_t i) {
-  CATMARK_CHECK_LT(i, rows_.size());
-  return rows_[i];
-}
-
-const Value& Relation::Get(std::size_t row, std::size_t col) const {
-  CATMARK_CHECK_LT(row, rows_.size());
-  CATMARK_CHECK_LT(col, schema_.num_columns());
-  return rows_[row][col];
+Status Relation::AppendRowsFrom(const Relation& other,
+                                const std::vector<std::size_t>& indices) {
+  if (!(schema_ == other.schema_)) {
+    return Status::InvalidArgument("schema mismatch in AppendRowsFrom");
+  }
+  for (const std::size_t i : indices) {
+    if (i >= other.NumRows()) return Status::OutOfRange("row index");
+  }
+  if (this == &other) {
+    // Self-append: the bulk path would read the vectors it is growing.
+    for (const std::size_t i : indices) store_.AppendRow(other.row(i));
+    return Status::OK();
+  }
+  store_.AppendRowsFrom(other.store_, indices);
+  return Status::OK();
 }
 
 Status Relation::Set(std::size_t row, std::size_t col, Value v) {
-  if (row >= rows_.size()) return Status::OutOfRange("row index");
+  if (row >= store_.num_rows()) return Status::OutOfRange("row index");
   if (col >= schema_.num_columns()) return Status::OutOfRange("column index");
   if (!v.is_null() && !v.MatchesType(schema_.column(col).type)) {
     return Status::InvalidArgument("value for column '" +
                                    schema_.column(col).name +
                                    "' has wrong type");
   }
-  rows_[row][col] = std::move(v);
+  store_.Set(row, col, std::move(v));
   return Status::OK();
 }
 
-void Relation::SwapRemoveRow(std::size_t i) {
-  CATMARK_CHECK_LT(i, rows_.size());
-  std::swap(rows_[i], rows_.back());
-  rows_.pop_back();
-}
-
 bool Relation::SameContent(const Relation& other) const {
-  if (!(schema_ == other.schema_) || rows_.size() != other.rows_.size()) {
+  if (!(schema_ == other.schema_) || NumRows() != other.NumRows()) {
     return false;
   }
-  auto key = [](const Row& r) {
-    std::string k;
-    std::vector<std::uint8_t> bytes;
-    for (const Value& v : r) v.SerializeForHash(bytes);
-    k.assign(bytes.begin(), bytes.end());
-    return k;
+  const std::size_t n = NumRows();
+  const std::size_t num_cols = schema_.num_columns();
+
+  // Canonical per-row serialization, sorted and compared as multisets.
+  // Dictionary columns serialize each dictionary entry once and append the
+  // memoized bytes per row, so code assignment order (which depends on
+  // insertion order) cannot leak into the comparison.
+  const auto keys_of = [num_cols](const Relation& rel, std::size_t rows) {
+    std::vector<std::string> dict_bytes;  // flattened per-column memo
+    std::vector<std::string> keys(rows);
+    for (std::size_t c = 0; c < num_cols; ++c) {
+      std::vector<std::uint8_t> scratch;
+      if (rel.store().IsDictColumn(c)) {
+        const std::vector<Value>& dict = rel.store().Dict(c);
+        dict_bytes.assign(dict.size(), {});
+        for (std::size_t code = 0; code < dict.size(); ++code) {
+          scratch.clear();
+          dict[code].SerializeForHash(scratch);
+          dict_bytes[code].assign(scratch.begin(), scratch.end());
+        }
+        scratch.clear();
+        NullValue().SerializeForHash(scratch);
+        const std::string null_bytes(scratch.begin(), scratch.end());
+        const std::vector<std::int32_t>& codes = rel.store().Codes(c);
+        for (std::size_t r = 0; r < rows; ++r) {
+          keys[r] += codes[r] < 0
+                         ? null_bytes
+                         : dict_bytes[static_cast<std::size_t>(codes[r])];
+        }
+      } else {
+        const std::vector<Value>& values = rel.store().PlainValues(c);
+        for (std::size_t r = 0; r < rows; ++r) {
+          scratch.clear();
+          values[r].SerializeForHash(scratch);
+          keys[r].append(scratch.begin(), scratch.end());
+        }
+      }
+    }
+    return keys;
   };
-  std::vector<std::string> a, b;
-  a.reserve(rows_.size());
-  b.reserve(rows_.size());
-  for (const Row& r : rows_) a.push_back(key(r));
-  for (const Row& r : other.rows_) b.push_back(key(r));
+
+  std::vector<std::string> a = keys_of(*this, n);
+  std::vector<std::string> b = keys_of(other, n);
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
   return a == b;

@@ -2,56 +2,79 @@
 #define CATMARK_RELATION_RELATION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
+#include "relation/column_store.h"
 #include "relation/schema.h"
 #include "relation/value.h"
 
 namespace catmark {
 
-/// An in-memory relation: a schema plus N tuples (row storage). This is the
-/// object watermarks are embedded into and detected from.
+/// An in-memory relation: a schema plus N tuples. This is the object
+/// watermarks are embedded into and detected from.
+///
+/// Storage is column-major (ColumnStore): categorical attributes — the
+/// embedding channels — are dictionary-encoded int32 code vectors, other
+/// attributes are plain per-column Value vectors. The tuple-oriented API
+/// below is preserved; hot paths read codes directly via store().
 class Relation {
  public:
   Relation() = default;
-  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  explicit Relation(Schema schema)
+      : schema_(std::move(schema)), store_(schema_) {}
 
   const Schema& schema() const { return schema_; }
 
   /// N — number of tuples.
-  std::size_t NumRows() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  std::size_t NumRows() const { return store_.num_rows(); }
+  bool empty() const { return store_.num_rows() == 0; }
 
   /// Appends a tuple after validating arity and (non-null) types.
   Status AppendRow(Row row);
 
-  /// Appends without validation — generator/attack hot path; the caller
-  /// guarantees schema conformance.
-  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  /// Appends without type validation — generator/attack hot path; the caller
+  /// guarantees schema conformance (arity is still checked).
+  void AppendRowUnchecked(Row row) { store_.AppendRow(std::move(row)); }
 
-  void Reserve(std::size_t n) { rows_.reserve(n); }
+  void Reserve(std::size_t n) { store_.Reserve(n); }
 
-  const Row& row(std::size_t i) const;
-  Row& mutable_row(std::size_t i);
+  /// Bulk-appends rows `indices` of `other` (equal schemas required). The
+  /// backbone of sampling/shuffle/sort/append ops: dictionary codes are
+  /// translated instead of every cell being re-serialized and re-interned.
+  Status AppendRowsFrom(const Relation& other,
+                        const std::vector<std::size_t>& indices);
 
-  /// Cell accessors (bounds-checked).
-  const Value& Get(std::size_t row, std::size_t col) const;
+  /// Materializes tuple `i` as a Row of Value copies (the storage is
+  /// columnar, so there is no stored Row to reference).
+  Row row(std::size_t i) const { return store_.MaterializeRow(i); }
+
+  /// Cell accessors (bounds-checked). Get's reference stays valid until the
+  /// cell (or the column's dictionary) is next mutated.
+  const Value& Get(std::size_t row, std::size_t col) const {
+    return store_.Get(row, col);
+  }
   Status Set(std::size_t row, std::size_t col, Value v);
 
-  /// Removes the row at `i` by swapping with the last row (O(1); order is
-  /// not semantically meaningful for a relation).
-  void SwapRemoveRow(std::size_t i);
-
-  const std::vector<Row>& rows() const { return rows_; }
+  /// Removes the row at `i` by swapping with the last row (order is not
+  /// semantically meaningful for a relation).
+  void SwapRemoveRow(std::size_t i) { store_.SwapRemoveRow(i); }
 
   /// True when both relations have equal schemas and equal row *multisets*
   /// (order-insensitive — Section 2.3 A4 makes order semantically void).
+  /// Compares values, not dictionary codes: two stores whose dictionaries
+  /// assigned codes in different insertion orders still compare equal.
   bool SameContent(const Relation& other) const;
+
+  /// Columnar storage — the hot-path surface (codes, dictionaries, live
+  /// counts). Mutating through mutable_store() bypasses schema validation.
+  const ColumnStore& store() const { return store_; }
+  ColumnStore& mutable_store() { return store_; }
 
  private:
   Schema schema_;
-  std::vector<Row> rows_;
+  ColumnStore store_;
 };
 
 }  // namespace catmark

@@ -118,6 +118,14 @@ void Value::SerializeForHash(std::vector<std::uint8_t>& out) const {
   out.insert(out.end(), s.begin(), s.end());
 }
 
+std::string_view Value::SerializeKeyInto(
+    std::vector<std::uint8_t>& scratch) const {
+  scratch.clear();
+  SerializeForHash(scratch);
+  return std::string_view(reinterpret_cast<const char*>(scratch.data()),
+                          scratch.size());
+}
+
 int Value::Compare(const Value& a, const Value& b) {
   const auto type_rank = [](const Value& v) {
     if (v.is_null()) return 0;

@@ -54,6 +54,11 @@ class Value {
   /// length prefix). Identical values always serialize identically.
   void SerializeForHash(std::vector<std::uint8_t>& out) const;
 
+  /// Serializes into `scratch` (cleared first) and returns a view of the
+  /// bytes: the canonical key form shared by dictionary interning and the
+  /// embedding map, kept in one place so they can never disagree.
+  std::string_view SerializeKeyInto(std::vector<std::uint8_t>& scratch) const;
+
   /// Three-way ordering: NULL < int64 < double < string across types;
   /// natural ordering within a type (byte-wise for strings).
   static int Compare(const Value& a, const Value& b);

@@ -15,6 +15,20 @@ ValueIndexColumn ValueIndexColumn::Build(const Relation& rel, std::size_t col,
                    static_cast<std::size_t>(
                        std::numeric_limits<std::int32_t>::max()));
   ValueIndexColumn out;
+
+  if (rel.store().IsDictColumn(col)) {
+    // Zero-copy: remap each dictionary entry once, alias the code vector.
+    const std::vector<Value>& dict = rel.store().Dict(col);
+    out.remap_.assign(dict.size(), kNoIndex);
+    for (std::size_t code = 0; code < dict.size(); ++code) {
+      const auto t = domain.IndexOf(dict[code]);
+      if (t.has_value()) out.remap_[code] = static_cast<std::int32_t>(*t);
+    }
+    out.codes_ = &rel.store().Codes(col);
+    out.live_ = &rel.store().DictLiveCounts(col);
+    return out;
+  }
+
   out.index_.assign(rel.NumRows(), kNoIndex);
   ParallelFor(rel.NumRows(), EffectiveThreadCount(num_threads, rel.NumRows()),
               [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
@@ -33,6 +47,16 @@ ValueIndexColumn ValueIndexColumn::Build(const Relation& rel, std::size_t col,
 std::vector<long> ValueIndexColumn::CountPerCategory(
     std::size_t domain_size) const {
   std::vector<long> counts(domain_size, 0);
+  if (codes_ != nullptr) {
+    for (std::size_t code = 0; code < remap_.size(); ++code) {
+      const std::int32_t t = remap_[code];
+      if (t >= 0 && static_cast<std::size_t>(t) < domain_size) {
+        counts[static_cast<std::size_t>(t)] +=
+            static_cast<long>((*live_)[code]);
+      }
+    }
+    return counts;
+  }
   for (const std::int32_t t : index_) {
     if (t >= 0 && static_cast<std::size_t>(t) < domain_size) ++counts[t];
   }

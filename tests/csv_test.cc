@@ -98,6 +98,59 @@ TEST(CsvTest, RejectsUnterminatedQuote) {
   EXPECT_FALSE(ReadCsvString("K,A,X\n1,\"red,1.0\n", TestSchema()).ok());
 }
 
+// Regression: input that ends inside an open quote is a truncated record,
+// and must surface as InvalidArgument — not parse as a complete row.
+TEST(CsvTest, UnterminatedQuoteAtEndOfInputIsInvalidArgument) {
+  for (const char* text : {
+           "K,A,X\n1,\"red",         // EOF inside the quoted field
+           "K,A,X\n1,\"red\"\",1.0"  // doubled quote then EOF, still open
+       }) {
+    const Result<Relation> r = ReadCsvString(text, TestSchema());
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+  }
+  // The header is held to the same standard.
+  const Result<Relation> header = ReadCsvString("K,\"A", TestSchema());
+  ASSERT_FALSE(header.ok());
+  EXPECT_TRUE(header.status().IsInvalidArgument());
+}
+
+TEST(CsvTest, EmbeddedCrLfRoundTrips) {
+  Relation rel(TestSchema());
+  ASSERT_TRUE(rel.AppendRow({Value(std::int64_t{1}), Value("line1\nline2"),
+                             Value(0.5)})
+                  .ok());
+  ASSERT_TRUE(rel.AppendRow({Value(std::int64_t{2}), Value("cr\rlf\r\nend"),
+                             Value(1.5)})
+                  .ok());
+  const Relation back = ReadCsvString(WriteCsvString(rel), TestSchema()).value();
+  EXPECT_TRUE(rel.SameContent(back));
+  EXPECT_EQ(back.Get(0, 1).AsString(), "line1\nline2");
+  EXPECT_EQ(back.Get(1, 1).AsString(), "cr\rlf\r\nend");
+}
+
+TEST(CsvTest, DoubledQuotesRoundTrip) {
+  Relation rel(TestSchema());
+  ASSERT_TRUE(rel.AppendRow({Value(std::int64_t{1}), Value("say \"hi\""),
+                             Value(0.5)})
+                  .ok());
+  ASSERT_TRUE(
+      rel.AppendRow({Value(std::int64_t{2}), Value("\"\""), Value(1.5)}).ok());
+  const std::string csv = WriteCsvString(rel);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  const Relation back = ReadCsvString(csv, TestSchema()).value();
+  EXPECT_TRUE(rel.SameContent(back));
+}
+
+TEST(CsvTest, FinalRecordWithoutTrailingNewlineRoundTrips) {
+  // A quoted final field that closes exactly at EOF is a complete record.
+  const Relation back =
+      ReadCsvString("K,A,X\n1,red,1.5\n2,\"bl,ue\",2.5", TestSchema())
+          .value();
+  ASSERT_EQ(back.NumRows(), 2u);
+  EXPECT_EQ(back.Get(1, 1).AsString(), "bl,ue");
+}
+
 TEST(CsvTest, HandlesCrLf) {
   const Relation back =
       ReadCsvString("K,A,X\r\n1,red,1.5\r\n", TestSchema()).value();

@@ -26,6 +26,30 @@ TEST(ThresholdTest, LooseAlphaLowersBar) {
   EXPECT_GT(loose, 16u);  // still better than chance
 }
 
+// The pre-optimization reference: probe every candidate m with a full
+// binomial tail evaluation (O(len^2) log-gamma calls). The shipping
+// implementation accumulates the tail in one descending pass; this sweep
+// pins its thresholds to the reference across lengths and significances.
+std::size_t ReferenceThreshold(std::size_t wm_len, double alpha) {
+  for (std::size_t m = 0; m <= wm_len; ++m) {
+    if (BinomialTailAtLeast(wm_len, m, 0.5) <= alpha) return m;
+  }
+  return wm_len + 1;
+}
+
+TEST(ThresholdTest, IncrementalTailMatchesReferenceSweep) {
+  for (const std::size_t len :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{8},
+        std::size_t{16}, std::size_t{31}, std::size_t{64}, std::size_t{100},
+        std::size_t{128}, std::size_t{257}, std::size_t{512}}) {
+    for (const double alpha : {0.3, 0.05, 1e-2, 1e-3, 1e-6, 1e-9}) {
+      EXPECT_EQ(RequiredMatchThreshold(len, alpha),
+                ReferenceThreshold(len, alpha))
+          << "len=" << len << " alpha=" << alpha;
+    }
+  }
+}
+
 TEST(ThresholdTest, ThresholdActuallyMeetsAlpha) {
   for (const double alpha : {1e-2, 1e-4, 1e-6}) {
     const std::size_t m = RequiredMatchThreshold(64, alpha);

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/embedding_map.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+
+namespace catmark {
+namespace {
+
+TEST(EmbeddingMapTest, InsertLookupRoundTrip) {
+  EmbeddingMap map;
+  map.Insert(Value(std::int64_t{7}), 3);
+  map.Insert(Value("seven"), 5);
+  EXPECT_EQ(map.Lookup(Value(std::int64_t{7})).value(), 3u);
+  EXPECT_EQ(map.Lookup(Value("seven")).value(), 5u);
+  EXPECT_FALSE(map.Lookup(Value(std::int64_t{8})).has_value());
+  // INT64 7 and STRING "7" must stay distinct.
+  EXPECT_FALSE(map.Lookup(Value("7")).has_value());
+}
+
+TEST(EmbeddingMapTest, HeterogeneousLookupMatchesValueLookup) {
+  EmbeddingMap map;
+  map.Insert(Value("alpha"), 11);
+  std::vector<std::uint8_t> scratch;
+  EXPECT_EQ(map.Lookup(EmbeddingMap::SerializeKey(Value("alpha"), scratch))
+                .value(),
+            11u);
+  EXPECT_FALSE(
+      map.Lookup(EmbeddingMap::SerializeKey(Value("beta"), scratch))
+          .has_value());
+}
+
+TEST(EmbeddingMapTest, SerializeDeserializeRoundTrip) {
+  EmbeddingMap map;
+  map.Insert(Value(std::int64_t{1}), 0);
+  map.Insert(Value("x"), 9);
+  const EmbeddingMap back = EmbeddingMap::Deserialize(map.Serialize()).value();
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.Lookup(Value("x")).value(), 9u);
+}
+
+// Regression: a duplicate key used to silently overwrite the earlier entry,
+// leaving the detector voting on a position the embedder never assigned to
+// that tuple. Two lines for one PK now reject the whole file.
+TEST(EmbeddingMapTest, DeserializeRejectsDuplicateKey) {
+  EmbeddingMap map;
+  map.Insert(Value(std::int64_t{42}), 1);
+  std::string text = map.Serialize();
+  const std::size_t comma = text.find(',');
+  ASSERT_NE(comma, std::string::npos);
+  // Same hex key, different index.
+  text += text.substr(0, comma) + ",7\n";
+  const Result<EmbeddingMap> r = EmbeddingMap::Deserialize(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(EmbeddingMapTest, DeserializeRejectsMalformedLines) {
+  EXPECT_FALSE(EmbeddingMap::Deserialize("deadbeef").ok());      // no comma
+  EXPECT_FALSE(EmbeddingMap::Deserialize("zz,1\n").ok());        // bad hex
+  EXPECT_FALSE(EmbeddingMap::Deserialize("ab,x\n").ok());        // bad index
+}
+
+TEST(EmbeddingMapTest, LookupColumnResolvesPlainKeyColumn) {
+  const Schema schema =
+      Schema::Create({{"K", ColumnType::kInt64, false},
+                      {"A", ColumnType::kString, true}},
+                     "K")
+          .value();
+  Relation rel(schema);
+  for (std::int64_t k = 0; k < 6; ++k) {
+    rel.AppendRowUnchecked({Value(k), Value("v")});
+  }
+  EmbeddingMap map;
+  map.Insert(Value(std::int64_t{1}), 10);
+  map.Insert(Value(std::int64_t{4}), 40);
+
+  const std::vector<std::uint64_t> found = map.LookupColumn(rel, 0);
+  ASSERT_EQ(found.size(), 6u);
+  EXPECT_EQ(found[1], 10u);
+  EXPECT_EQ(found[4], 40u);
+  EXPECT_EQ(found[0], EmbeddingMap::kNotFound);
+
+  // Masked rows are skipped even when their key is present.
+  std::vector<std::uint8_t> mask(6, 0);
+  mask[4] = 1;
+  const std::vector<std::uint64_t> masked = map.LookupColumn(rel, 0, &mask);
+  EXPECT_EQ(masked[1], EmbeddingMap::kNotFound);
+  EXPECT_EQ(masked[4], 40u);
+}
+
+TEST(EmbeddingMapTest, LookupColumnResolvesDictKeyColumn) {
+  // A categorical (dictionary-encoded) key column: each distinct key is
+  // probed once and fanned out by code.
+  const Schema schema =
+      Schema::Create({{"A", ColumnType::kString, true},
+                      {"B", ColumnType::kString, true}},
+                     "")
+          .value();
+  Relation rel(schema);
+  rel.AppendRowUnchecked({Value("x"), Value("p")});
+  rel.AppendRowUnchecked({Value("y"), Value("q")});
+  rel.AppendRowUnchecked({Value("x"), Value("r")});
+  rel.AppendRowUnchecked({Value(), Value("s")});
+  EmbeddingMap map;
+  map.Insert(Value("x"), 2);
+
+  const std::vector<std::uint64_t> found = map.LookupColumn(rel, 0);
+  ASSERT_EQ(found.size(), 4u);
+  EXPECT_EQ(found[0], 2u);
+  EXPECT_EQ(found[1], EmbeddingMap::kNotFound);
+  EXPECT_EQ(found[2], 2u);
+  EXPECT_EQ(found[3], EmbeddingMap::kNotFound);  // NULL key
+}
+
+}  // namespace
+}  // namespace catmark

@@ -37,6 +37,19 @@ TEST(QueryTest, CountWhereUnknownColumnFails) {
   EXPECT_FALSE(CountWhere(SalesLike(), {"Nope", Value("x")}).ok());
 }
 
+TEST(QueryTest, CountWhereSignedZeroUsesValueEquality) {
+  // Dictionary interning is bit-exact (0.0 and -0.0 get distinct codes) but
+  // predicate matching follows Value::Compare, which treats them as equal —
+  // the dict fast path must not change the count.
+  Relation rel(Schema::Create({{"D", ColumnType::kDouble, true}}, "").value());
+  rel.AppendRowUnchecked({Value(0.0)});
+  rel.AppendRowUnchecked({Value(-0.0)});
+  rel.AppendRowUnchecked({Value(1.5)});
+  ASSERT_EQ(rel.store().Dict(0).size(), 3u);  // bit-distinct codes
+  EXPECT_EQ(CountWhere(rel, {"D", Value(0.0)}).value(), 2u);
+  EXPECT_EQ(CountWhere(rel, {"D", Value(-0.0)}).value(), 2u);
+}
+
 TEST(QueryTest, CountWhereBoth) {
   const Relation rel = SalesLike();
   EXPECT_EQ(CountWhereBoth(rel, {"Dept", Value("GROCERY")},

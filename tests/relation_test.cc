@@ -231,6 +231,82 @@ TEST(RelationTest, SameContentIsMultisetAware) {
   EXPECT_FALSE(a.SameContent(b));
 }
 
+TEST(RelationTest, SameContentIgnoresDictionaryCodeAssignment) {
+  // Equal content inserted in different orders assigns different dictionary
+  // codes to the categorical column; the comparison must not see them.
+  Relation a(TestSchema()), b(TestSchema());
+  a.AppendRowUnchecked({Value(std::int64_t{1}), Value("red"), Value(0.0)});
+  a.AppendRowUnchecked({Value(std::int64_t{2}), Value("blue"), Value(0.0)});
+  b.AppendRowUnchecked({Value(std::int64_t{2}), Value("blue"), Value(0.0)});
+  b.AppendRowUnchecked({Value(std::int64_t{1}), Value("red"), Value(0.0)});
+  ASSERT_NE(a.store().CodeOf(1, Value("red")),
+            b.store().CodeOf(1, Value("red")));
+  EXPECT_TRUE(a.SameContent(b));
+  EXPECT_TRUE(b.SameContent(a));
+}
+
+TEST(RelationTest, SameContentIgnoresDeadDictionaryEntries) {
+  // One relation carries a dead dictionary entry ("green" was overwritten):
+  // content is equal, dictionaries are not.
+  Relation a(TestSchema()), b(TestSchema());
+  a.AppendRowUnchecked({Value(std::int64_t{1}), Value("green"), Value(0.0)});
+  ASSERT_TRUE(a.Set(0, 1, Value("red")).ok());
+  b.AppendRowUnchecked({Value(std::int64_t{1}), Value("red"), Value(0.0)});
+  EXPECT_TRUE(a.SameContent(b));
+}
+
+TEST(RelationTest, SameContentMultisetWithSharedDictionary) {
+  // Same dictionary contents, different multiplicities per code.
+  Relation a(TestSchema()), b(TestSchema());
+  a.AppendRowUnchecked({Value(std::int64_t{1}), Value("r"), Value(0.0)});
+  a.AppendRowUnchecked({Value(std::int64_t{1}), Value("r"), Value(0.0)});
+  a.AppendRowUnchecked({Value(std::int64_t{1}), Value("s"), Value(0.0)});
+  b.AppendRowUnchecked({Value(std::int64_t{1}), Value("r"), Value(0.0)});
+  b.AppendRowUnchecked({Value(std::int64_t{1}), Value("s"), Value(0.0)});
+  b.AppendRowUnchecked({Value(std::int64_t{1}), Value("s"), Value(0.0)});
+  EXPECT_FALSE(a.SameContent(b));
+}
+
+TEST(RelationTest, SameContentDistinguishesNullFromEmptyString) {
+  Relation a(TestSchema()), b(TestSchema());
+  a.AppendRowUnchecked({Value(std::int64_t{1}), Value(), Value(0.0)});
+  b.AppendRowUnchecked({Value(std::int64_t{1}), Value(""), Value(0.0)});
+  EXPECT_FALSE(a.SameContent(b));
+}
+
+TEST(RelationTest, SwapRemoveRowPreservesRemainingMultiset) {
+  Relation rel(TestSchema());
+  for (int i = 0; i < 6; ++i) {
+    rel.AppendRowUnchecked({Value(static_cast<std::int64_t>(i)),
+                            Value(i % 2 == 0 ? "even" : "odd"), Value(0.0)});
+  }
+  rel.SwapRemoveRow(2);  // removes (2, "even")
+  rel.SwapRemoveRow(0);  // removes (0, "even")
+  ASSERT_EQ(rel.NumRows(), 4u);
+
+  Relation expected(TestSchema());
+  for (const std::int64_t k : {1, 3, 4, 5}) {
+    expected.AppendRowUnchecked(
+        {Value(k), Value(k % 2 == 0 ? "even" : "odd"), Value(0.0)});
+  }
+  EXPECT_TRUE(rel.SameContent(expected));
+  // And the categorical column's recovered domain followed the removals.
+  const CategoricalDomain d =
+      CategoricalDomain::FromRelationColumn(rel, 1).value();
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(RelationTest, SwapRemoveLastHolderShrinksRecoveredDomain) {
+  Relation rel(TestSchema());
+  rel.AppendRowUnchecked({Value(std::int64_t{1}), Value("only"), Value(0.0)});
+  rel.AppendRowUnchecked({Value(std::int64_t{2}), Value("kept"), Value(0.0)});
+  rel.SwapRemoveRow(0);
+  const CategoricalDomain d =
+      CategoricalDomain::FromRelationColumn(rel, 1).value();
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.value(0).AsString(), "kept");
+}
+
 // ------------------------------------------------------------------ Domain
 
 TEST(DomainTest, FromValuesSortsAndIndexes) {
