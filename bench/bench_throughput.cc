@@ -66,6 +66,7 @@ int Run(const ExperimentConfig& config) {
   Measurement embed;
   Relation marked = original;
   EmbedReport report;
+  std::size_t embed_apply_shards = 1;
   for (std::size_t pass = 0; pass < config.passes; ++pass) {
     {
       Relation rel = original;
@@ -89,10 +90,52 @@ int Run(const ExperimentConfig& config) {
           << "parallel embed diverged from serial";
       CATMARK_CHECK(rel.SameContent(marked))
           << "parallel embed produced different data";
+      embed_apply_shards = r.value().apply_shards;
       if (n / secs > embed.parallel_tps) embed.parallel_tps = n / secs;
     }
   }
   embed.speedup = embed.parallel_tps / embed.serial_tps;
+
+  // Figure 1(b) map-mode embed: exercises the prefix-sum map-index
+  // assignment and per-shard segment splicing (the guard is off here — map
+  // mode plus the draining guard is the documented serial fallback). The
+  // serialized maps are compared so a splice-order bug fails the bench, not
+  // just the unit suite.
+  WatermarkParams map_serial_params = serial_params;
+  map_serial_params.min_category_keep = 0;
+  WatermarkParams map_parallel_params = parallel_params;
+  map_parallel_params.min_category_keep = 0;
+  EmbedOptions map_options = embed_options;
+  map_options.build_embedding_map = true;
+
+  Measurement embed_map;
+  for (std::size_t pass = 0; pass < config.passes; ++pass) {
+    std::string serial_map;
+    {
+      Relation rel = original;
+      const auto start = Clock::now();
+      Result<EmbedReport> r =
+          Embedder(keys, map_serial_params).Embed(rel, map_options, wm);
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      serial_map = r.value().embedding_map.Serialize();
+      if (n / secs > embed_map.serial_tps) embed_map.serial_tps = n / secs;
+    }
+    {
+      Relation rel = original;
+      const auto start = Clock::now();
+      Result<EmbedReport> r =
+          Embedder(keys, map_parallel_params).Embed(rel, map_options, wm);
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      CATMARK_CHECK(r.value().embedding_map.Serialize() == serial_map)
+          << "sharded map embed spliced a different embedding map";
+      if (n / secs > embed_map.parallel_tps) {
+        embed_map.parallel_tps = n / secs;
+      }
+    }
+  }
+  embed_map.speedup = embed_map.parallel_tps / embed_map.serial_tps;
 
   DetectOptions detect_options;
   detect_options.key_attr = "K";
@@ -164,6 +207,10 @@ int Run(const ExperimentConfig& config) {
                  FormatDouble(embed.parallel_tps, 0),
                  FormatDouble(embed.speedup, 2),
                  std::to_string(parallel_params.num_threads)});
+  PrintTableRow({"embed(map)", FormatDouble(embed_map.serial_tps, 0),
+                 FormatDouble(embed_map.parallel_tps, 0),
+                 FormatDouble(embed_map.speedup, 2),
+                 std::to_string(parallel_params.num_threads)});
   PrintTableRow({"detect", FormatDouble(detect.serial_tps, 0),
                  FormatDouble(detect.parallel_tps, 0),
                  FormatDouble(detect.speedup, 2),
@@ -189,6 +236,10 @@ int Run(const ExperimentConfig& config) {
         "  \"embed_serial_tps\": %.0f,\n"
         "  \"embed_parallel_tps\": %.0f,\n"
         "  \"embed_speedup\": %.3f,\n"
+        "  \"embed_apply_shards\": %zu,\n"
+        "  \"embed_map_serial_tps\": %.0f,\n"
+        "  \"embed_map_parallel_tps\": %.0f,\n"
+        "  \"embed_map_speedup\": %.3f,\n"
         "  \"detect_serial_tps\": %.0f,\n"
         "  \"detect_parallel_tps\": %.0f,\n"
         "  \"detect_speedup\": %.3f,\n"
@@ -196,8 +247,9 @@ int Run(const ExperimentConfig& config) {
         "}\n",
         config.num_tuples, config.domain_size, config.passes,
         parallel_params.num_threads, embed.serial_tps, embed.parallel_tps,
-        embed.speedup, detect.serial_tps, detect.parallel_tps, detect.speedup,
-        index_ms);
+        embed.speedup, embed_apply_shards, embed_map.serial_tps,
+        embed_map.parallel_tps, embed_map.speedup, detect.serial_tps,
+        detect.parallel_tps, detect.speedup, index_ms);
     out << buf;
     std::printf("json report: %s\n", json_path);
   }

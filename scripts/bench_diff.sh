@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Diffs the embed rows of two BENCH_throughput.json reports:
+#   scripts/bench_diff.sh <baseline.json> <current.json> [regression-pct]
+#
+# Prints a per-key comparison of the embed_* throughput fields and emits a
+# GitHub warning annotation when a key regresses by more than
+# `regression-pct` (default 25%). Shared CI runners are noisy, so the diff
+# is informational — it never fails the job — but the annotation makes an
+# embed-throughput regression visible on the PR. A missing baseline (first
+# run, expired artifact) is skipped silently.
+set -euo pipefail
+
+baseline=${1:?usage: bench_diff.sh <baseline.json> <current.json> [pct]}
+current=${2:?usage: bench_diff.sh <baseline.json> <current.json> [pct]}
+threshold=${3:-25}
+
+if [ ! -f "$baseline" ]; then
+  echo "bench_diff: no baseline at $baseline — skipping comparison"
+  exit 0
+fi
+if [ ! -f "$current" ]; then
+  echo "bench_diff: current report $current missing" >&2
+  exit 1
+fi
+
+python3 - "$baseline" "$current" "$threshold" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(current_path) as f:
+    current = json.load(f)
+
+keys = [
+    "embed_serial_tps",
+    "embed_parallel_tps",
+    "embed_speedup",
+    "embed_map_serial_tps",
+    "embed_map_parallel_tps",
+    "embed_map_speedup",
+]
+
+print(f"{'embed row':<26}{'baseline':>14}{'current':>14}{'delta':>10}")
+for key in keys:
+    old, new = baseline.get(key), current.get(key)
+    if old is None or new is None:
+        # Baselines from before the sharded-embed rows lack the map keys.
+        print(f"{key:<26}{'-' if old is None else old:>14}"
+              f"{'-' if new is None else new:>14}{'n/a':>10}")
+        continue
+    delta = 0.0 if old == 0 else (new - old) / old * 100.0
+    print(f"{key:<26}{old:>14}{new:>14}{delta:>+9.1f}%")
+    if delta < -threshold:
+        print(f"::warning title=embed throughput regression::{key} fell "
+              f"{-delta:.1f}% vs baseline ({old} -> {new})")
+EOF

@@ -1,41 +1,53 @@
 #include "common/parallel.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdlib>
 #include <thread>
-#include <vector>
 
 namespace catmark {
 
 namespace {
 
 // Hard ceiling on workers, whatever CATMARK_THREADS says: these loops are
-// memory-bound well before 256 shards, and an unbounded count (e.g. a
-// negative value wrapped by strtoul) would otherwise try to spawn one
-// thread per row and abort the process on resource exhaustion.
+// memory-bound well before 256 shards, and an unbounded count would try to
+// spawn one thread per row and abort the process on resource exhaustion.
 constexpr std::size_t kMaxThreads = 256;
+
+std::size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<std::size_t>(hw) : 1;
+}
 
 }  // namespace
 
-std::size_t DefaultThreadCount() {
-  if (const char* env = std::getenv("CATMARK_THREADS")) {
-    // strtoul silently wraps negative input; reject anything but digits.
-    bool numeric = *env != '\0';
-    for (const char* p = env; *p != '\0'; ++p) {
-      if (!std::isdigit(static_cast<unsigned char>(*p))) {
-        numeric = false;
-        break;
-      }
-    }
-    if (numeric) {
-      const unsigned long v = std::strtoul(env, nullptr, 10);
-      if (v >= 1) {
-        return v < kMaxThreads ? static_cast<std::size_t>(v) : kMaxThreads;
-      }
-    }
+std::size_t MaxEnvThreadCount(std::size_t hardware) {
+  const std::size_t floor8 = hardware * 4 > 8 ? hardware * 4 : 8;
+  return floor8 < kMaxThreads ? floor8 : kMaxThreads;
+}
+
+std::size_t ResolveThreadCountEnv(const char* text, std::size_t hardware) {
+  const std::size_t fallback = hardware >= 1 ? hardware : 1;
+  if (text == nullptr || *text == '\0') return fallback;
+  for (const char* p = text; *p != '\0'; ++p) {
+    // Digits only: no signs, spaces, hex prefixes or trailing junk. strtoul
+    // would have accepted "-4" by wrapping it to a huge positive count.
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return fallback;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw >= 1 ? static_cast<std::size_t>(hw) : 1;
+  std::size_t v = 0;
+  const char* end = text;
+  while (*end != '\0') ++end;
+  const auto [ptr, ec] = std::from_chars(text, end, v);
+  if (ptr != end) return fallback;  // defensive; digits already checked
+  if (ec == std::errc::result_out_of_range) return MaxEnvThreadCount(hardware);
+  if (v == 0) return fallback;
+  const std::size_t ceiling = MaxEnvThreadCount(hardware);
+  return v < ceiling ? v : ceiling;
+}
+
+std::size_t DefaultThreadCount() {
+  return ResolveThreadCountEnv(std::getenv("CATMARK_THREADS"),
+                               HardwareThreads());
 }
 
 std::size_t EffectiveThreadCount(std::size_t requested, std::size_t n) {
@@ -43,6 +55,29 @@ std::size_t EffectiveThreadCount(std::size_t requested, std::size_t n) {
   if (threads > kMaxThreads) threads = kMaxThreads;
   if (n >= 1 && threads > n) threads = n;
   return threads >= 1 ? threads : 1;
+}
+
+std::vector<std::size_t> ShardBounds(std::size_t n, std::size_t num_threads) {
+  const std::size_t threads = num_threads >= 1 ? num_threads : 1;
+  // Shard s covers [bounds[s], bounds[s + 1]); the first n % threads shards
+  // take one extra item.
+  std::vector<std::size_t> bounds(threads + 1, 0);
+  const std::size_t chunk = n / threads;
+  const std::size_t extra = n % threads;
+  for (std::size_t s = 0; s < threads; ++s) {
+    bounds[s + 1] = bounds[s] + chunk + (s < extra ? 1 : 0);
+  }
+  return bounds;
+}
+
+std::size_t ExclusivePrefixSum(std::vector<std::size_t>& counts) {
+  std::size_t running = 0;
+  for (std::size_t& c : counts) {
+    const std::size_t count = c;
+    c = running;
+    running += count;
+  }
+  return running;
 }
 
 void ParallelFor(std::size_t n, std::size_t num_threads,
@@ -55,14 +90,7 @@ void ParallelFor(std::size_t n, std::size_t num_threads,
     return;
   }
 
-  // Shard s covers [bounds[s], bounds[s + 1]); the first n % threads shards
-  // take one extra item.
-  std::vector<std::size_t> bounds(threads + 1, 0);
-  const std::size_t chunk = n / threads;
-  const std::size_t extra = n % threads;
-  for (std::size_t s = 0; s < threads; ++s) {
-    bounds[s + 1] = bounds[s] + chunk + (s < extra ? 1 : 0);
-  }
+  const std::vector<std::size_t> bounds = ShardBounds(n, threads);
 
   std::vector<std::thread> workers;
   workers.reserve(threads - 1);

@@ -1,9 +1,13 @@
 #include "core/embedder.h"
 
+#include <string>
+#include <utility>
+
 #include "common/parallel.h"
 #include "core/codec.h"
 #include "core/tuple_plan.h"
 #include "ecc/code.h"
+#include "relation/column_store.h"
 #include "relation/value_index_column.h"
 
 namespace catmark {
@@ -19,6 +23,343 @@ Embedder::Embedder(WatermarkKeySet keys, WatermarkParams params)
   CATMARK_CHECK(keys_.valid()) << "invalid watermark key set (k1 == k2?)";
   CATMARK_CHECK_GE(params_.e, 1u);
 }
+
+namespace {
+
+// Inputs shared by every apply-pass flavour. The serial pass is the
+// reference semantics; both sharded passes are proven bit-identical to it
+// by the randomized parity suite.
+struct ApplyInputs {
+  Relation* rel = nullptr;
+  const WatermarkParams* params = nullptr;
+  const EmbedOptions* options = nullptr;
+  const TuplePlan* plan = nullptr;
+  const BitVector* wm_data = nullptr;
+  std::size_t payload_len = 0;
+  std::size_t domain_size = 0;
+  std::size_t key_col = 0;
+  std::size_t target_col = 0;
+  const ValueIndexColumn* target_index = nullptr;
+  const std::vector<std::int32_t>* code_of_t = nullptr;  // iff write_codes
+  bool write_codes = false;
+  std::vector<long>* category_count = nullptr;  // iff guard enabled
+  QualityAssessor* assessor = nullptr;
+  EmbeddingLedger* ledger = nullptr;
+};
+
+// Per-row verdict of the sharded classify phase.
+enum RowVerdict : std::uint8_t {
+  kUnfit = 0,
+  kLedgerSkip,
+  kUnchanged,  // fit, value already selects the right bit — commit, no write
+  kAlter,      // fit, needs the code write (may still be guard-skipped)
+  kGuardSkip,  // alteration vetoed by the category-draining guard
+};
+
+// Distinct wm_data positions hit across all shards (the serial pass's
+// position_seen counter, reassembled from per-shard bitmaps by OR — set
+// union commutes, so the count is thread-count independent).
+std::size_t CountDistinctPositions(
+    const std::vector<std::vector<std::uint8_t>>& shard_seen,
+    std::size_t payload_len) {
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < payload_len; ++i) {
+    for (const std::vector<std::uint8_t>& seen : shard_seen) {
+      if (seen[i]) {
+        ++distinct;
+        break;
+      }
+    }
+  }
+  return distinct;
+}
+
+// The reference apply pass: preserves the Figure 1(b) map insertion order
+// and the draining guard's running counts. An embedding-map entry is
+// recorded only once the tuple's alteration (or unchanged hit) is committed
+// — skipped tuples must not occupy map slots, or the map-based detector
+// would vote on positions that were never written.
+Status SerialApply(const ApplyInputs& in, EmbedReport& report) {
+  Relation& rel = *in.rel;
+  const WatermarkParams& params = *in.params;
+  const bool map_mode = in.options->build_embedding_map;
+  const TuplePlan& plan = *in.plan;
+  const ValueIndexColumn& target_index = *in.target_index;
+
+  std::vector<std::uint8_t> position_seen(in.payload_len, 0);
+  std::size_t next_map_index = 0;
+
+  for (std::size_t j = 0; j < rel.NumRows(); ++j) {
+    if (!plan.fit[j]) continue;
+
+    if (in.ledger != nullptr && in.ledger->IsMarked(j, in.target_col)) {
+      ++report.skipped_by_ledger;
+      continue;
+    }
+
+    // wm_data bit position: keyed hash (Fig. 1a) or running map (Fig. 1b).
+    const std::size_t idx = map_mode ? next_map_index % in.payload_len
+                                     : plan.payload_index[j];
+
+    const int bit = in.wm_data->Get(idx);
+    const std::size_t t = SelectValueIndex(plan.h1[j], in.domain_size, bit);
+    const std::int32_t old_t = target_index.index(j);
+
+    const auto commit = [&] {
+      if (!position_seen[idx]) {
+        position_seen[idx] = 1;
+        ++report.positions_written;
+      }
+      if (map_mode) {
+        report.embedding_map.Insert(rel.Get(j, in.key_col), idx);
+        ++next_map_index;
+      }
+      if (in.ledger != nullptr) in.ledger->Mark(j, in.target_col);
+    };
+
+    if (old_t >= 0 && static_cast<std::size_t>(old_t) == t) {
+      ++report.unchanged_tuples;
+      commit();
+      continue;
+    }
+
+    if (params.min_category_keep > 0 && old_t >= 0 &&
+        (*in.category_count)[old_t] <= params.min_category_keep) {
+      ++report.skipped_by_domain_guard;
+      continue;
+    }
+
+    const Value& new_value = report.domain.value(t);
+    if (in.assessor != nullptr) {
+      const Status s =
+          in.assessor->ProposeAlteration(rel, j, in.target_col, new_value);
+      if (!s.ok()) {
+        if (!s.IsConstraintViolation()) return s;  // real failure
+        ++report.skipped_by_quality;
+        continue;
+      }
+    } else if (in.write_codes) {
+      rel.mutable_store().SetCode(j, in.target_col, (*in.code_of_t)[t]);
+    } else {
+      CATMARK_RETURN_IF_ERROR(rel.Set(j, in.target_col, new_value));
+    }
+    if (params.min_category_keep > 0) {
+      if (old_t >= 0) --(*in.category_count)[old_t];
+      ++(*in.category_count)[t];
+    }
+    ++report.altered_tuples;
+    commit();
+  }
+  return Status::OK();
+}
+
+// Report counters and side effects one shard accumulates during the
+// parallel apply phase, merged serially (in shard order) afterwards.
+struct ShardTally {
+  std::size_t unchanged = 0;
+  std::size_t altered = 0;
+  std::size_t ledger_skips = 0;
+  std::vector<std::size_t> marks;  // committed rows, ascending
+  EmbeddingMap::Segment segment;   // map path only
+};
+
+// Two-phase sharded apply for the k2 position path (no embedding map): the
+// bit position of every fit tuple is already in the plan, so phase 1
+// classifies each row into a verdict in parallel, an optional serial
+// O(fit) scan resolves the category-draining guard against its running
+// counts (pure array arithmetic — the keyed hashing all happened in the
+// plan build), and phase 2 applies the code writes and tallies the report
+// counters shard-locally.
+void ShardedHashApply(const ApplyInputs& in, std::size_t threads,
+                      EmbedReport& report) {
+  Relation& rel = *in.rel;
+  const WatermarkParams& params = *in.params;
+  const TuplePlan& plan = *in.plan;
+  const ValueIndexColumn& target_index = *in.target_index;
+  const std::size_t n = rel.NumRows();
+
+  std::vector<std::uint8_t> verdict(n, kUnfit);
+  std::vector<std::uint32_t> tsel(n, 0);
+
+  // Phase 1: classify. Reads the plan, the domain-index view and (const)
+  // ledger; writes only per-row slots.
+  ParallelFor(n, threads,
+              [&](std::size_t, std::size_t begin, std::size_t end) {
+                for (std::size_t j = begin; j < end; ++j) {
+                  if (!plan.fit[j]) continue;
+                  if (in.ledger != nullptr &&
+                      in.ledger->IsMarked(j, in.target_col)) {
+                    verdict[j] = kLedgerSkip;
+                    continue;
+                  }
+                  const std::size_t idx = plan.payload_index[j];
+                  const int bit = in.wm_data->Get(idx);
+                  const std::size_t t =
+                      SelectValueIndex(plan.h1[j], in.domain_size, bit);
+                  tsel[j] = static_cast<std::uint32_t>(t);
+                  const std::int32_t old_t = target_index.index(j);
+                  verdict[j] =
+                      (old_t >= 0 && static_cast<std::size_t>(old_t) == t)
+                          ? kUnchanged
+                          : kAlter;
+                }
+              });
+
+  // Guard resolution: whether tuple j's alteration drains a category
+  // depends on every earlier alteration's net count effect, so this scan
+  // is inherently ordered — but it is pure integer arithmetic over the
+  // verdicts, costing a fraction of what the phases around it parallelize.
+  if (params.min_category_keep > 0) {
+    std::vector<long>& category_count = *in.category_count;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (verdict[j] != kAlter) continue;
+      const std::int32_t old_t = target_index.index(j);
+      if (old_t >= 0 && category_count[old_t] <= params.min_category_keep) {
+        verdict[j] = kGuardSkip;
+        ++report.skipped_by_domain_guard;
+        continue;
+      }
+      if (old_t >= 0) --category_count[old_t];
+      ++category_count[tsel[j]];
+    }
+  }
+
+  // Phase 2: apply. Raw code writes to disjoint row slots via the bulk
+  // writer; everything else is shard-local and merged below.
+  BulkCodeWriter writer(rel.mutable_store(), in.target_col, threads);
+  std::vector<std::vector<std::uint8_t>> shard_seen(
+      threads, std::vector<std::uint8_t>(in.payload_len, 0));
+  std::vector<ShardTally> tally(threads);
+
+  ParallelFor(n, threads,
+              [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                ShardTally& t = tally[shard];
+                std::vector<std::uint8_t>& seen = shard_seen[shard];
+                for (std::size_t j = begin; j < end; ++j) {
+                  switch (verdict[j]) {
+                    case kUnchanged:
+                      ++t.unchanged;
+                      break;
+                    case kAlter:
+                      writer.Write(shard, j, (*in.code_of_t)[tsel[j]]);
+                      ++t.altered;
+                      break;
+                    case kLedgerSkip:
+                      ++t.ledger_skips;
+                      continue;
+                    default:
+                      continue;
+                  }
+                  seen[plan.payload_index[j]] = 1;
+                  if (in.ledger != nullptr) t.marks.push_back(j);
+                }
+              });
+  writer.Finish();
+
+  for (const ShardTally& t : tally) {
+    report.unchanged_tuples += t.unchanged;
+    report.altered_tuples += t.altered;
+    report.skipped_by_ledger += t.ledger_skips;
+    if (in.ledger != nullptr) in.ledger->MarkRows(t.marks, in.target_col);
+  }
+  report.positions_written =
+      CountDistinctPositions(shard_seen, in.payload_len);
+  report.apply_shards = threads;
+}
+
+// Two-phase sharded apply for the Figure 1(b) embedding-map path. Without
+// the draining guard or a quality assessor, *every* fit, non-ledger-marked
+// tuple commits, so the running map index the serial pass hands out is an
+// exact prefix-sum over per-shard commit counts: shard s starts at the
+// total commits of shards 0..s-1 and counts up. Phase 2 then selects
+// values, applies code writes and serializes per-shard map segments fully
+// in parallel; the segments splice in shard order, reproducing the serial
+// insertion sequence byte-for-byte.
+void ShardedMapApply(const ApplyInputs& in, std::size_t threads,
+                     EmbedReport& report) {
+  Relation& rel = *in.rel;
+  const TuplePlan& plan = *in.plan;
+  const ValueIndexColumn& target_index = *in.target_index;
+  const std::size_t n = rel.NumRows();
+
+  // Per-shard commit counts. With no ledger these are the plan's per-shard
+  // fit counts (same (n, threads) partition); with a ledger, one cheap
+  // counting pass filters out already-marked cells.
+  std::vector<std::size_t> base;
+  if (in.ledger == nullptr) {
+    CATMARK_CHECK_EQ(plan.shard_fit.size(), threads);
+    base = plan.shard_fit;
+  } else {
+    base.assign(threads, 0);
+    ParallelFor(n, threads,
+                [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                  std::size_t commits = 0;
+                  for (std::size_t j = begin; j < end; ++j) {
+                    if (plan.fit[j] &&
+                        !in.ledger->IsMarked(j, in.target_col)) {
+                      ++commits;
+                    }
+                  }
+                  base[shard] = commits;
+                });
+  }
+  ExclusivePrefixSum(base);  // base[s] = first global map index of shard s
+
+  BulkCodeWriter writer(rel.mutable_store(), in.target_col, threads);
+  std::vector<std::vector<std::uint8_t>> shard_seen(
+      threads, std::vector<std::uint8_t>(in.payload_len, 0));
+  std::vector<ShardTally> tally(threads);
+
+  ParallelFor(
+      n, threads, [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        ShardTally& t = tally[shard];
+        std::vector<std::uint8_t>& seen = shard_seen[shard];
+        const ColumnReader key_reader(rel.store(), in.key_col);
+        std::vector<std::uint8_t> scratch;
+        scratch.reserve(64);
+        std::size_t map_index = base[shard];
+        for (std::size_t j = begin; j < end; ++j) {
+          if (!plan.fit[j]) continue;
+          if (in.ledger != nullptr && in.ledger->IsMarked(j, in.target_col)) {
+            ++t.ledger_skips;
+            continue;
+          }
+          // Global map indices wrap around the payload exactly like the
+          // serial pass's next_map_index % payload_len — including across
+          // shard boundaries, where base[shard] may land mid-cycle.
+          const std::size_t idx = map_index % in.payload_len;
+          const int bit = in.wm_data->Get(idx);
+          const std::size_t tval =
+              SelectValueIndex(plan.h1[j], in.domain_size, bit);
+          const std::int32_t old_t = target_index.index(j);
+          if (old_t >= 0 && static_cast<std::size_t>(old_t) == tval) {
+            ++t.unchanged;
+          } else {
+            writer.Write(shard, j, (*in.code_of_t)[tval]);
+            ++t.altered;
+          }
+          seen[idx] = 1;
+          t.segment.emplace_back(
+              std::string(key_reader[j].SerializeKeyInto(scratch)), idx);
+          if (in.ledger != nullptr) t.marks.push_back(j);
+          ++map_index;
+        }
+      });
+  writer.Finish();
+
+  for (ShardTally& t : tally) {
+    report.unchanged_tuples += t.unchanged;
+    report.altered_tuples += t.altered;
+    report.skipped_by_ledger += t.ledger_skips;
+    report.embedding_map.AppendSegment(std::move(t.segment));
+    if (in.ledger != nullptr) in.ledger->MarkRows(t.marks, in.target_col);
+  }
+  report.positions_written =
+      CountDistinctPositions(shard_seen, in.payload_len);
+  report.apply_shards = threads;
+}
+
+}  // namespace
 
 Result<EmbedReport> Embedder::Embed(Relation& rel,
                                     const EmbedOptions& options,
@@ -122,76 +463,39 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
     category_count = target_index.CountPerCategory(domain_size);
   }
 
-  // Sequential apply pass: preserves the Figure 1(b) map insertion order and
-  // the draining guard's running counts. An embedding-map entry is recorded
-  // only once the tuple's alteration (or unchanged hit) is committed —
-  // skipped tuples must not occupy map slots, or the map-based detector
-  // would vote on positions that were never written.
-  std::vector<std::uint8_t> position_seen(payload_len, 0);
-  std::size_t next_map_index = 0;
+  report.fit_tuples = plan.fit_count;
 
-  for (std::size_t j = 0; j < rel.NumRows(); ++j) {
-    if (!plan.fit[j]) continue;
-    ++report.fit_tuples;
+  ApplyInputs inputs;
+  inputs.rel = &rel;
+  inputs.params = &params_;
+  inputs.options = &options;
+  inputs.plan = &plan;
+  inputs.wm_data = &wm_data;
+  inputs.payload_len = payload_len;
+  inputs.domain_size = domain_size;
+  inputs.key_col = key_col;
+  inputs.target_col = target_col;
+  inputs.target_index = &target_index;
+  inputs.code_of_t = &code_of_t;
+  inputs.write_codes = write_codes;
+  inputs.category_count = &category_count;
+  inputs.assessor = assessor;
+  inputs.ledger = ledger;
 
-    if (ledger != nullptr && ledger->IsMarked(j, target_col)) {
-      ++report.skipped_by_ledger;
-      continue;
-    }
-
-    // wm_data bit position: keyed hash (Fig. 1a) or running map (Fig. 1b).
-    const std::size_t idx = options.build_embedding_map
-                                ? next_map_index % payload_len
-                                : plan.payload_index[j];
-
-    const int bit = wm_data.Get(idx);
-    const std::size_t t = SelectValueIndex(plan.h1[j], domain_size, bit);
-    const std::int32_t old_t = target_index.index(j);
-
-    const auto commit = [&] {
-      if (!position_seen[idx]) {
-        position_seen[idx] = 1;
-        ++report.positions_written;
-      }
-      if (options.build_embedding_map) {
-        report.embedding_map.Insert(rel.Get(j, key_col), idx);
-        ++next_map_index;
-      }
-      if (ledger != nullptr) ledger->Mark(j, target_col);
-    };
-
-    if (old_t >= 0 && static_cast<std::size_t>(old_t) == t) {
-      ++report.unchanged_tuples;
-      commit();
-      continue;
-    }
-
-    if (params_.min_category_keep > 0 && old_t >= 0 &&
-        category_count[old_t] <= params_.min_category_keep) {
-      ++report.skipped_by_domain_guard;
-      continue;
-    }
-
-    const Value& new_value = report.domain.value(t);
-    if (assessor != nullptr) {
-      const Status s =
-          assessor->ProposeAlteration(rel, j, target_col, new_value);
-      if (!s.ok()) {
-        if (!s.IsConstraintViolation()) return s;  // real failure
-        ++report.skipped_by_quality;
-        continue;
-      }
-    } else if (write_codes) {
-      rel.mutable_store().SetCode(j, target_col, code_of_t[t]);
-    } else {
-      CATMARK_RETURN_IF_ERROR(rel.Set(j, target_col, new_value));
-    }
-    if (params_.min_category_keep > 0) {
-      if (old_t >= 0) --category_count[old_t];
-      ++category_count[t];
-    }
-    ++report.altered_tuples;
-    commit();
+  // Sharded apply needs raw code writes and stateless per-tuple decisions:
+  // a quality assessor interleaves relation mutation with its verdicts, and
+  // the map + draining-guard combination makes each tuple's bit position
+  // depend on every earlier guard outcome. Those run the reference serial
+  // pass (apply_shards stays 1).
+  const bool serial_only =
+      threads == 1 || assessor != nullptr || !write_codes ||
+      (options.build_embedding_map && params_.min_category_keep > 0);
+  if (serial_only) {
+    CATMARK_RETURN_IF_ERROR(SerialApply(inputs, report));
+  } else if (options.build_embedding_map) {
+    ShardedMapApply(inputs, threads, report);
+  } else {
+    ShardedHashApply(inputs, threads, report);
   }
 
   report.alteration_fraction =

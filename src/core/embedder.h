@@ -47,6 +47,14 @@ struct EmbedReport {
   std::size_t payload_length = 0;     ///< |wm_data| — detector input
   std::size_t positions_written = 0;  ///< distinct wm_data positions hit
   double alteration_fraction = 0.0;   ///< altered_tuples / N
+
+  /// Shards the apply pass ran with: > 1 means the two-phase sharded
+  /// pipeline executed; 1 means the serial fallback engaged (num_threads
+  /// == 1, a QualityAssessor present, map mode with the category-draining
+  /// guard active, or a target that cannot take raw code writes). Purely
+  /// diagnostic — every other report field, the relation, the map and the
+  /// ledger are bit-identical either way.
+  std::size_t apply_shards = 1;
   CategoricalDomain domain;           ///< domain used — detector input
   EmbeddingMap embedding_map;         ///< populated iff build_embedding_map
 };
@@ -59,13 +67,25 @@ class Embedder {
 
   /// Embeds `wm` into `rel` in place.
   ///
-  /// Pipelined: fitness hashes, payload indices and the domain-index view
-  /// of the target column are precomputed in parallel (WatermarkParams::
-  /// num_threads workers), then alterations apply in one sequential pass so
-  /// the Figure 1(b) map insertion order and the category-draining guard's
-  /// running counts stay deterministic. An embedding-map entry is recorded
-  /// only for committed tuples (altered or unchanged-hit) — never for
-  /// tuples skipped by the ledger, the domain guard or a quality veto.
+  /// Fully pipelined: fitness hashes, payload indices and the domain-index
+  /// view of the target column are precomputed in parallel (WatermarkParams
+  /// ::num_threads workers), and the apply pass itself runs as a two-phase
+  /// sharded pipeline — phase 1 classifies every tuple into a commit/skip
+  /// verdict in parallel, an exact prefix-sum over per-shard commit counts
+  /// assigns each committing tuple the global map index the serial pass
+  /// would have given it, and phase 2 applies alterations as raw code
+  /// writes and splices per-shard embedding-map segments in shard order.
+  /// The resulting relation, report, map and ledger are bit-identical to a
+  /// serial pass at any thread count. Inherently stateful interactions fall
+  /// back to the serial apply pass (EmbedReport::apply_shards == 1): a
+  /// QualityAssessor (its veto/rollback protocol mutates the relation
+  /// mid-decision), map mode combined with the category-draining guard
+  /// (there the bit position of tuple j depends on every earlier verdict,
+  /// which depends on the guard's running counts), num_threads == 1, and
+  /// targets that cannot take raw dictionary-code writes. An embedding-map
+  /// entry is recorded only for committed tuples (altered or unchanged-hit)
+  /// — never for tuples skipped by the ledger, the domain guard or a
+  /// quality veto.
   ///
   /// Fails with FailedPrecondition when N / e == 0 (e exceeds the relation
   /// size): fewer than one tuple is expected to be fit, so "success" would

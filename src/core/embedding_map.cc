@@ -25,6 +25,21 @@ void EmbeddingMap::Insert(const Value& pk, std::size_t idx) {
   map_.emplace(std::string(key), idx);
 }
 
+void EmbeddingMap::AppendSegment(Segment&& segment) {
+  for (auto& [key, idx] : segment) {
+    // Mirror Insert exactly (find, then overwrite or emplace): the map's
+    // internal state after splicing shard segments in order must match a
+    // serial Insert sequence bucket-for-bucket, or Serialize() would order
+    // entries differently between the serial and sharded apply paths.
+    const auto it = map_.find(std::string_view(key));
+    if (it != map_.end()) {
+      it->second = idx;
+      continue;
+    }
+    map_.emplace(std::move(key), idx);
+  }
+}
+
 std::optional<std::size_t> EmbeddingMap::Lookup(const Value& pk) const {
   std::vector<std::uint8_t> scratch;
   return Lookup(SerializeKey(pk, scratch));

@@ -70,7 +70,8 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
                     }
                   }
                 });
-    std::vector<std::size_t> shard_fit(threads, 0);
+    plan.shard_fit.assign(threads, 0);
+    std::vector<std::size_t>& shard_fit = plan.shard_fit;
     ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
                                 std::size_t end) {
       std::size_t local_fit = 0;
@@ -91,7 +92,8 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
   }
 
   const std::vector<Value>& key_values = store.PlainValues(key_col);
-  std::vector<std::size_t> shard_fit(threads, 0);
+  plan.shard_fit.assign(threads, 0);
+  std::vector<std::size_t>& shard_fit = plan.shard_fit;
   ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
                               std::size_t end) {
     // Per-worker hasher state and scratch buffer: keyed hashing allocates

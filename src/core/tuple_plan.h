@@ -30,6 +30,12 @@ struct TuplePlan {
   std::vector<std::uint32_t> payload_index;
   std::size_t fit_count = 0;
 
+  /// Per-shard fit counts over the ShardBounds(size(), shard_fit.size())
+  /// row partition — the sharded embed apply pass prefix-sums these to
+  /// assign each committing tuple its global map index without a serial
+  /// counting pass (valid whenever no ledger filters fit tuples further).
+  std::vector<std::size_t> shard_fit;
+
   std::size_t size() const { return fit.size(); }
 };
 

@@ -1,13 +1,20 @@
 // Serial-vs-parallel parity: the pipelined embed/detect hot path must
 // produce bit-identical EmbedReport / DetectionResult / relation contents
-// for every thread count — embedding applies its plan sequentially and
-// detection merges per-thread integer tallies, so 1, 2 and 8 workers are
-// required to agree exactly. Run under TSan with CATMARK_THREADS swept in
-// CI to also prove data-race freedom.
+// for every thread count. Detection merges per-thread integer tallies;
+// embedding runs a two-phase sharded apply pass (parallel classify,
+// prefix-sum map-index assignment, parallel apply with spliced per-shard
+// map segments) whose every output — relation bytes, report counters,
+// serialized embedding map, ledger — must match the serial reference pass
+// exactly. The randomized suite below proves that over ~50 trials of
+// random schemas, domains, parameters and thread counts; run under TSan
+// with CATMARK_THREADS swept in CI to also prove data-race freedom.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <random>
+#include <string>
 #include <vector>
 
 #include "attack/attacks.h"
@@ -16,6 +23,8 @@
 #include "core/embedder.h"
 #include "exp/harness.h"
 #include "gen/sales_gen.h"
+#include "quality/assessor.h"
+#include "relation/csv.h"
 
 namespace catmark {
 namespace {
@@ -55,6 +64,103 @@ TEST(ParallelForTest, EffectiveThreadCountClamps) {
   EXPECT_EQ(EffectiveThreadCount(8, 3), 3u);
   EXPECT_EQ(EffectiveThreadCount(2, 100), 2u);
   EXPECT_GE(EffectiveThreadCount(0, 100), 1u);
+}
+
+TEST(ParallelForTest, ShardBoundsPartitionExactly) {
+  for (const std::size_t threads : {1u, 2u, 3u, 7u, 8u}) {
+    for (const std::size_t n : {0u, 1u, 7u, 8u, 103u}) {
+      const std::vector<std::size_t> bounds = ShardBounds(n, threads);
+      ASSERT_EQ(bounds.size(), threads + 1);
+      EXPECT_EQ(bounds.front(), 0u);
+      EXPECT_EQ(bounds.back(), n);
+      for (std::size_t s = 0; s < threads; ++s) {
+        EXPECT_LE(bounds[s], bounds[s + 1]);
+        // Near-equal: no shard more than one item larger than another.
+        EXPECT_LE(bounds[s + 1] - bounds[s], n / threads + 1);
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ShardBoundsMatchParallelForPartition) {
+  const std::size_t n = 103;
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    const std::vector<std::size_t> bounds = ShardBounds(n, threads);
+    std::vector<std::pair<std::size_t, std::size_t>> observed(threads);
+    ParallelFor(n, threads,
+                [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                  observed[shard] = {begin, end};
+                });
+    for (std::size_t s = 0; s < threads; ++s) {
+      EXPECT_EQ(observed[s].first, bounds[s]) << "threads=" << threads;
+      EXPECT_EQ(observed[s].second, bounds[s + 1]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, ExclusivePrefixSum) {
+  std::vector<std::size_t> counts = {3, 0, 5, 1};
+  EXPECT_EQ(ExclusivePrefixSum(counts), 9u);
+  EXPECT_EQ(counts, (std::vector<std::size_t>{0, 3, 3, 8}));
+
+  std::vector<std::size_t> empty;
+  EXPECT_EQ(ExclusivePrefixSum(empty), 0u);
+
+  std::vector<std::size_t> one = {7};
+  EXPECT_EQ(ExclusivePrefixSum(one), 7u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+// ------------------------------------------------ CATMARK_THREADS parsing
+
+TEST(ThreadCountEnvTest, MalformedInputsFallBackToHardware) {
+  // One case per malformed shape: empty, words, digit/letter mixes, signs
+  // (strtoul used to wrap "-4" into a huge positive count), whitespace,
+  // hex/scientific notation, and zero.
+  for (const char* bad : {"", "abc", "12abc", "abc12", "-4", "+8", " 8",
+                          "8 ", "0x10", "1e3", "0", "00"}) {
+    EXPECT_EQ(ResolveThreadCountEnv(bad, 4), 4u) << "input \"" << bad << "\"";
+  }
+  EXPECT_EQ(ResolveThreadCountEnv(nullptr, 4), 4u);
+  // A zero hardware report (the standard allows it) still floors at 1.
+  EXPECT_EQ(ResolveThreadCountEnv("junk", 0), 1u);
+}
+
+TEST(ThreadCountEnvTest, ValidInputsParseAndClamp) {
+  EXPECT_EQ(ResolveThreadCountEnv("1", 4), 1u);
+  EXPECT_EQ(ResolveThreadCountEnv("3", 4), 3u);
+  // Modest oversubscription stays allowed — the sanitizer sweeps run 8
+  // workers on small machines.
+  EXPECT_EQ(ResolveThreadCountEnv("8", 1), 8u);
+  // Oversized and overflowing values clamp to the hardware-derived ceiling
+  // instead of spawning thousands of threads.
+  EXPECT_EQ(ResolveThreadCountEnv("100000", 4), MaxEnvThreadCount(4));
+  EXPECT_EQ(ResolveThreadCountEnv("99999999999999999999999999", 4),
+            MaxEnvThreadCount(4));
+}
+
+TEST(ThreadCountEnvTest, MaxEnvThreadCountShape) {
+  EXPECT_EQ(MaxEnvThreadCount(1), 8u);
+  EXPECT_EQ(MaxEnvThreadCount(2), 8u);
+  EXPECT_EQ(MaxEnvThreadCount(4), 16u);
+  EXPECT_EQ(MaxEnvThreadCount(16), 64u);
+  EXPECT_EQ(MaxEnvThreadCount(100), 256u);  // absolute cap
+}
+
+TEST(ThreadCountEnvTest, DefaultThreadCountSurvivesGarbageEnv) {
+  const char* saved = std::getenv("CATMARK_THREADS");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+  setenv("CATMARK_THREADS", "not-a-number", 1);
+  EXPECT_GE(DefaultThreadCount(), 1u);
+  setenv("CATMARK_THREADS", "-3", 1);
+  EXPECT_GE(DefaultThreadCount(), 1u);
+  setenv("CATMARK_THREADS", "2", 1);
+  EXPECT_EQ(DefaultThreadCount(), 2u);
+  if (saved != nullptr) {
+    setenv("CATMARK_THREADS", saved_copy.c_str(), 1);
+  } else {
+    unsetenv("CATMARK_THREADS");
+  }
 }
 
 // ------------------------------------------------------------------ parity
@@ -218,6 +324,335 @@ TEST(ParallelParityTest, NullKeysParityAcrossThreadCounts) {
     const EmbedReport report =
         Embedder(keys, params).Embed(rel, KA(), wm).value();
     ExpectReportsEqual(serial, report);
+  }
+}
+
+// -------------------------------------------- randomized property suite
+
+// One randomized trial's configuration, drawn from the trial seed.
+struct TrialConfig {
+  bool item_scan = false;       // ItemScan schema vs minimal (K, A)
+  std::string key_attr;
+  std::string target_attr;
+  std::size_t num_tuples = 0;
+  std::size_t domain_size = 0;  // minimal schema only
+  double zipf_s = 0.0;
+  std::uint64_t e = 0;
+  std::size_t wm_bits = 0;
+  std::size_t payload_length = 0;  // 0 = derive (bandwidth N/e)
+  long min_category_keep = 0;
+  bool map_mode = false;
+  std::size_t ledger_stride = 0;   // 0 = no ledger
+  std::uint64_t seed = 0;
+};
+
+TrialConfig DrawTrialConfig(std::uint64_t trial_seed) {
+  std::mt19937_64 rng(trial_seed);
+  const auto draw = [&rng](std::size_t lo, std::size_t hi) {
+    return lo + static_cast<std::size_t>(rng() % (hi - lo + 1));
+  };
+  TrialConfig c;
+  c.seed = rng();
+  c.item_scan = draw(0, 2) == 0;
+  if (c.item_scan) {
+    c.key_attr = "Visit_Nbr";
+    c.target_attr = draw(0, 1) == 0 ? "Item_Nbr" : "Dept_Desc";
+    c.num_tuples = draw(400, 2000);
+    c.domain_size = draw(8, 120);  // num_items when targeting Item_Nbr
+  } else {
+    c.key_attr = "K";
+    c.target_attr = "A";
+    c.num_tuples = draw(300, 2500);
+    c.domain_size = draw(2, 250);
+  }
+  c.zipf_s = static_cast<double>(draw(0, 12)) / 10.0;
+  c.e = draw(1, 40);
+  if (c.e > c.num_tuples) c.e = c.num_tuples;  // keep N/e >= 1
+  c.wm_bits = draw(4, 24);
+  // Explicit payloads must clear the ECC's minimum (|wm|); short ones force
+  // heavy map-index wraparound at shard boundaries.
+  c.payload_length = draw(0, 1) == 0 ? 0 : draw(c.wm_bits, c.wm_bits + 56);
+  const long keeps[] = {0, 0, 1, 3};  // bias 0: sharded map path coverage
+  c.min_category_keep = keeps[draw(0, 3)];
+  c.map_mode = draw(0, 1) == 1;
+  c.ledger_stride = draw(0, 2) == 0 ? draw(3, 17) : 0;
+  return c;
+}
+
+Relation MakeTrialRelation(const TrialConfig& c) {
+  if (c.item_scan) {
+    SalesGenConfig gen;
+    gen.num_tuples = c.num_tuples;
+    gen.num_items = c.domain_size;
+    gen.item_zipf_s = c.zipf_s;
+    gen.seed = c.seed;
+    return GenerateItemScan(gen);
+  }
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = c.num_tuples;
+  gen.domain_size = c.domain_size;
+  gen.zipf_s = c.zipf_s;
+  gen.seed = c.seed;
+  return GenerateKeyedCategorical(gen);
+}
+
+// ~50 seeded trials over random schemas, domain sizes, e/bandwidth
+// parameters and thread counts {1, 2, 3, 8}: the sharded apply pass must
+// reproduce the serial reference byte-for-byte — relation CSV snapshot,
+// every report counter, the serialized embedding map and the ledger.
+TEST(RandomizedParityTest, SerialAndShardedEmbedAreBitIdentical) {
+  constexpr std::uint64_t kSuiteSeed = 0x5104'2004'0301ull;
+  constexpr int kTrials = 50;
+  int sharded_trials = 0;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const TrialConfig c = DrawTrialConfig(kSuiteSeed + trial);
+    SCOPED_TRACE("trial " + std::to_string(trial) + " n=" +
+                 std::to_string(c.num_tuples) + " e=" + std::to_string(c.e) +
+                 " target=" + c.target_attr +
+                 " map=" + std::to_string(c.map_mode) +
+                 " keep=" + std::to_string(c.min_category_keep) +
+                 " payload=" + std::to_string(c.payload_length) +
+                 " ledger=" + std::to_string(c.ledger_stride));
+
+    const Relation base = MakeTrialRelation(c);
+    const BitVector wm = MakeWatermark(c.wm_bits, c.seed);
+    const WatermarkKeySet keys = WatermarkKeySet::FromSeed(c.seed);
+
+    WatermarkParams params;
+    params.e = c.e;
+    params.payload_length = c.payload_length;
+    params.min_category_keep = c.min_category_keep;
+
+    EmbedOptions options;
+    options.key_attr = c.key_attr;
+    options.target_attr = c.target_attr;
+    options.build_embedding_map = c.map_mode;
+
+    const std::size_t target_col = static_cast<std::size_t>(
+        base.schema().ColumnIndex(c.target_attr));
+    const auto premark = [&](EmbeddingLedger& ledger) {
+      if (c.ledger_stride == 0) return;
+      for (std::size_t j = 0; j < base.NumRows(); j += c.ledger_stride) {
+        ledger.Mark(j, target_col);
+      }
+    };
+
+    params.num_threads = 1;
+    Relation serial_rel = base;
+    EmbeddingLedger serial_ledger;
+    premark(serial_ledger);
+    const Result<EmbedReport> serial_result =
+        Embedder(keys, params)
+            .Embed(serial_rel, options, wm, nullptr,
+                   c.ledger_stride != 0 ? &serial_ledger : nullptr);
+    ASSERT_TRUE(serial_result.ok()) << serial_result.status().ToString();
+    const EmbedReport& serial = serial_result.value();
+    EXPECT_EQ(serial.apply_shards, 1u);
+    const std::string serial_csv = WriteCsvString(serial_rel);
+
+    for (const std::size_t threads : {2u, 3u, 8u}) {
+      params.num_threads = threads;
+      Relation rel = base;
+      EmbeddingLedger ledger;
+      premark(ledger);
+      const Result<EmbedReport> result =
+          Embedder(keys, params)
+              .Embed(rel, options, wm, nullptr,
+                     c.ledger_stride != 0 ? &ledger : nullptr);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const EmbedReport& report = result.value();
+
+      ExpectReportsEqual(serial, report);
+      EXPECT_EQ(WriteCsvString(rel), serial_csv) << "threads=" << threads;
+      EXPECT_EQ(ledger.size(), serial_ledger.size());
+      for (std::size_t j = 0; j < base.NumRows(); ++j) {
+        ASSERT_EQ(ledger.IsMarked(j, target_col),
+                  serial_ledger.IsMarked(j, target_col))
+            << "row " << j << " threads=" << threads;
+      }
+
+      // Pin the path: map mode with the draining guard falls back to the
+      // serial apply pass; everything else shards.
+      const bool expect_serial = c.map_mode && c.min_category_keep > 0;
+      EXPECT_EQ(report.apply_shards, expect_serial ? 1u : threads)
+          << "threads=" << threads;
+      if (!expect_serial) ++sharded_trials;
+    }
+  }
+  // The draw is biased so the sharded pipeline gets real coverage.
+  EXPECT_GE(sharded_trials, kTrials);
+}
+
+// --------------------------------------- sharded apply edge-case pinning
+
+WatermarkParams MapPathParams(std::size_t threads) {
+  WatermarkParams params;
+  params.e = 1;  // every tuple fit: maximal shard occupancy
+  params.min_category_keep = 0;  // guard off: sharded map path engages
+  params.num_threads = threads;
+  return params;
+}
+
+void ExpectEmbedMatchesSerial(const Relation& base,
+                              const WatermarkParams& parallel_params,
+                              const EmbedOptions& options,
+                              const BitVector& wm,
+                              EmbeddingLedger* serial_ledger = nullptr,
+                              EmbeddingLedger* parallel_ledger = nullptr,
+                              std::size_t expect_shards = 0) {
+  WatermarkParams serial_params = parallel_params;
+  serial_params.num_threads = 1;
+  Relation serial_rel = base;
+  const EmbedReport serial = Embedder(WatermarkKeySet::FromSeed(7),
+                                      serial_params)
+                                 .Embed(serial_rel, options, wm, nullptr,
+                                        serial_ledger)
+                                 .value();
+  EXPECT_EQ(serial.apply_shards, 1u);
+
+  Relation rel = base;
+  const EmbedReport report = Embedder(WatermarkKeySet::FromSeed(7),
+                                      parallel_params)
+                                 .Embed(rel, options, wm, nullptr,
+                                        parallel_ledger)
+                                 .value();
+  if (expect_shards != 0) EXPECT_EQ(report.apply_shards, expect_shards);
+  ExpectReportsEqual(serial, report);
+  EXPECT_EQ(WriteCsvString(rel), WriteCsvString(serial_rel));
+}
+
+TEST(ShardedApplyEdgeCaseTest, SingleTupleShards) {
+  // n = 5 with 8 requested workers: EffectiveThreadCount caps at one tuple
+  // per shard; every shard's map segment holds at most one entry.
+  const Relation base = StandardRelation(5, 51);
+  ExpectEmbedMatchesSerial(base, MapPathParams(8), KA(/*map=*/true),
+                           MakeWatermark(4, 51), nullptr, nullptr,
+                           /*expect_shards=*/5);
+}
+
+TEST(ShardedApplyEdgeCaseTest, AllSkipShards) {
+  // Every cell pre-marked in the ledger: all shards classify all tuples as
+  // ledger skips, every segment splices empty, the map stays empty.
+  const Relation base = StandardRelation(400, 52);
+  EmbeddingLedger serial_ledger;
+  EmbeddingLedger parallel_ledger;
+  for (std::size_t j = 0; j < base.NumRows(); ++j) {
+    serial_ledger.Mark(j, 1);
+    parallel_ledger.Mark(j, 1);
+  }
+  WatermarkParams params = MapPathParams(8);
+  WatermarkParams serial_params = params;
+  serial_params.num_threads = 1;
+
+  Relation serial_rel = base;
+  const EmbedReport serial =
+      Embedder(WatermarkKeySet::FromSeed(7), serial_params)
+          .Embed(serial_rel, KA(/*map=*/true), MakeWatermark(4, 52), nullptr,
+                 &serial_ledger)
+          .value();
+  Relation rel = base;
+  const EmbedReport report =
+      Embedder(WatermarkKeySet::FromSeed(7), params)
+          .Embed(rel, KA(/*map=*/true), MakeWatermark(4, 52), nullptr,
+                 &parallel_ledger)
+          .value();
+  EXPECT_EQ(report.apply_shards, 8u);
+  ExpectReportsEqual(serial, report);
+  EXPECT_EQ(report.embedding_map.size(), 0u);
+  EXPECT_EQ(report.skipped_by_ledger, report.fit_tuples);
+  EXPECT_EQ(report.altered_tuples, 0u);
+  EXPECT_EQ(WriteCsvString(rel), WriteCsvString(base));
+}
+
+TEST(ShardedApplyEdgeCaseTest, EmptyShards) {
+  // e = 50 over 200 tuples: only a handful are fit, so several shards carry
+  // zero commits and contribute nothing to the prefix sum.
+  const Relation base = StandardRelation(200, 53);
+  WatermarkParams params = MapPathParams(8);
+  params.e = 50;
+  ExpectEmbedMatchesSerial(base, params, KA(/*map=*/true),
+                           MakeWatermark(4, 53), nullptr, nullptr,
+                           /*expect_shards=*/8);
+}
+
+TEST(ShardedApplyEdgeCaseTest, PayloadIndexWraparoundAtShardBoundaries) {
+  // payload_length = 3 against ~64 commits: the running map index wraps the
+  // payload many times per shard and most shards start mid-cycle — their
+  // prefix-sum base must continue the cycle exactly where the previous
+  // shard left it.
+  const Relation base = StandardRelation(64, 54);
+  WatermarkParams params = MapPathParams(8);
+  params.payload_length = 3;
+  ExpectEmbedMatchesSerial(base, params, KA(/*map=*/true),
+                           MakeWatermark(3, 54), nullptr, nullptr,
+                           /*expect_shards=*/8);
+}
+
+TEST(ShardedApplyEdgeCaseTest, HashPathWithDrainingGuard) {
+  // k2 positions + draining guard: parallel classify, serial guard
+  // resolution over running counts, parallel apply. A small skewed domain
+  // makes the guard actually veto alterations.
+  KeyedCategoricalConfig config;
+  config.num_tuples = 2000;
+  config.domain_size = 6;
+  config.zipf_s = 1.3;
+  config.seed = 55;
+  const Relation base = GenerateKeyedCategorical(config);
+  WatermarkParams params;
+  params.e = 2;
+  params.min_category_keep = 40;
+  params.num_threads = 8;
+  ExpectEmbedMatchesSerial(base, params, KA(/*map=*/false),
+                           MakeWatermark(6, 55), nullptr, nullptr,
+                           /*expect_shards=*/8);
+}
+
+TEST(ShardedApplyEdgeCaseTest, SerialFallbackPinning) {
+  const Relation base = StandardRelation(500, 56);
+  const BitVector wm = MakeWatermark(4, 56);
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(7);
+
+  // num_threads == 1: serial semantics preserved by definition.
+  {
+    WatermarkParams params = MapPathParams(1);
+    Relation rel = base;
+    EXPECT_EQ(Embedder(keys, params).Embed(rel, KA(), wm).value().apply_shards,
+              1u);
+  }
+  // Map mode with the draining guard on: bit positions depend on guard
+  // verdicts, so the sharded pipeline must refuse.
+  {
+    WatermarkParams params = MapPathParams(8);
+    params.min_category_keep = 1;
+    Relation rel = base;
+    EXPECT_EQ(Embedder(keys, params)
+                  .Embed(rel, KA(/*map=*/true), wm)
+                  .value()
+                  .apply_shards,
+              1u);
+  }
+  // A quality assessor (even plugin-less, it logs every alteration for
+  // rollback): stateful, serial.
+  {
+    WatermarkParams params = MapPathParams(8);
+    Relation rel = base;
+    QualityAssessor assessor;
+    ASSERT_TRUE(assessor.Begin(rel).ok());
+    EXPECT_EQ(Embedder(keys, params)
+                  .Embed(rel, KA(), wm, &assessor)
+                  .value()
+                  .apply_shards,
+              1u);
+  }
+  // k2 mode with the guard on still shards (guard resolution is the cheap
+  // serial scan between the parallel phases).
+  {
+    WatermarkParams params = MapPathParams(8);
+    params.min_category_keep = 1;
+    Relation rel = base;
+    EXPECT_EQ(Embedder(keys, params).Embed(rel, KA(), wm).value().apply_shards,
+              8u);
   }
 }
 
