@@ -9,12 +9,15 @@
 //
 // Environment:
 //   CATMARK_THREADS      parallel worker count (default: hardware threads)
+//   CATMARK_PRF          keyed-PRF backend of the headline rows (--prf wins;
+//                        the detect PRF-breakdown rows sweep every backend)
 //   CATMARK_BENCH_JSON   when set, write the machine-readable report there
 //                        (the BENCH_throughput.json emitted by scripts/)
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <string>
 
@@ -56,6 +59,9 @@ int Run(const ExperimentConfig& config) {
   WatermarkParams serial_params;
   serial_params.e = 60;
   serial_params.num_threads = 1;
+  // --prf / CATMARK_PRF steer the headline rows; the PRF-breakdown section
+  // below always sweeps every registered backend regardless.
+  if (config.prf.has_value()) serial_params.prf = config.prf;
   WatermarkParams parallel_params = serial_params;
   parallel_params.num_threads = DefaultThreadCount();
 
@@ -172,6 +178,80 @@ int Run(const ExperimentConfig& config) {
   }
   detect.speedup = detect.parallel_tps / detect.serial_tps;
 
+  // Detect PRF breakdown: one embed + timed detects per registered keyed-PRF
+  // backend, so BENCH_throughput.json tracks exactly where the fitness-hash
+  // dominated detect path stands per primitive. Each backend detects its own
+  // embedding (a mark embedded under one PRF is invisible under another);
+  // serial-vs-parallel bit-identity is checked inline like the main rows.
+  constexpr PrfKind kPrfSweep[] = {PrfKind::kKeyedHash, PrfKind::kHmacSha256,
+                                   PrfKind::kSipHash24};
+  constexpr std::size_t kNumPrfs = std::size(kPrfSweep);
+  static_assert(kPrfSweep[0] == PrfKind::kKeyedHash &&
+                kPrfSweep[kNumPrfs - 1] == PrfKind::kSipHash24,
+                "prf_fast_gain and the JSON field order index by position");
+  Measurement prf_detect[kNumPrfs];
+  for (std::size_t p = 0; p < kNumPrfs; ++p) {
+    WatermarkParams prf_serial = serial_params;
+    prf_serial.prf = kPrfSweep[p];
+    WatermarkParams prf_parallel = parallel_params;
+    prf_parallel.prf = kPrfSweep[p];
+
+    Relation prf_marked = original;
+    Result<EmbedReport> embed_r =
+        Embedder(keys, prf_serial).Embed(prf_marked, embed_options, wm);
+    CATMARK_CHECK(embed_r.ok()) << embed_r.status().ToString();
+
+    DetectOptions prf_options = detect_options;
+    prf_options.payload_length = embed_r.value().payload_length;
+    prf_options.domain = embed_r.value().domain;
+
+    DetectionResult serial_r;
+    for (std::size_t pass = 0; pass < config.passes; ++pass) {
+      {
+        const auto start = Clock::now();
+        Result<DetectionResult> r =
+            Detector(keys, prf_serial)
+                .Detect(prf_marked, prf_options, wm.size());
+        const double secs = SecondsSince(start);
+        CATMARK_CHECK(r.ok()) << r.status().ToString();
+        serial_r = std::move(r).value();
+        if (n / secs > prf_detect[p].serial_tps) {
+          prf_detect[p].serial_tps = n / secs;
+        }
+      }
+      {
+        const auto start = Clock::now();
+        Result<DetectionResult> r =
+            Detector(keys, prf_parallel)
+                .Detect(prf_marked, prf_options, wm.size());
+        const double secs = SecondsSince(start);
+        CATMARK_CHECK(r.ok()) << r.status().ToString();
+        CATMARK_CHECK(r.value().wm == serial_r.wm)
+            << "parallel detect diverged under "
+            << std::string(PrfKindName(kPrfSweep[p]));
+        CATMARK_CHECK_EQ(r.value().usable_votes, serial_r.usable_votes)
+            << "parallel detect tallied different votes under "
+            << std::string(PrfKindName(kPrfSweep[p]));
+        if (n / secs > prf_detect[p].parallel_tps) {
+          prf_detect[p].parallel_tps = n / secs;
+        }
+      }
+    }
+    prf_detect[p].speedup =
+        prf_detect[p].parallel_tps / prf_detect[p].serial_tps;
+    if (serial_r.positions_present == serial_r.payload_length) {
+      CATMARK_CHECK(serial_r.wm == wm)
+          << "round trip failed under "
+          << std::string(PrfKindName(kPrfSweep[p]));
+    }
+  }
+  // Fast-backend gain over the compatibility default, single-thread — the
+  // ROADMAP's detect acceptance number.
+  const double prf_fast_gain =
+      prf_detect[0].serial_tps > 0.0
+          ? prf_detect[kNumPrfs - 1].serial_tps / prf_detect[0].serial_tps
+          : 0.0;
+
   // Plan-build microstage: domain recovery + the domain-index view of the
   // target column. On the columnar store both are O(dictionary) — sub-
   // millisecond, and independent of the thread count — so it is reported
@@ -215,6 +295,15 @@ int Run(const ExperimentConfig& config) {
                  FormatDouble(detect.parallel_tps, 0),
                  FormatDouble(detect.speedup, 2),
                  std::to_string(parallel_params.num_threads)});
+  for (std::size_t p = 0; p < kNumPrfs; ++p) {
+    PrintTableRow({"detect[" + std::string(PrfKindName(kPrfSweep[p])) + "]",
+                   FormatDouble(prf_detect[p].serial_tps, 0),
+                   FormatDouble(prf_detect[p].parallel_tps, 0),
+                   FormatDouble(prf_detect[p].speedup, 2),
+                   std::to_string(parallel_params.num_threads)});
+  }
+  PrintTableRow({"detect prf gain", FormatDouble(prf_fast_gain, 2) + "x",
+                 "(siphash24 / keyed-hash, serial)", "-", "1"});
   PrintTableRow(
       {"plan/index (ms)", FormatDouble(index_ms, 3), "-", "-", "1"});
 
@@ -224,7 +313,7 @@ int Run(const ExperimentConfig& config) {
       std::fprintf(stderr, "bench_throughput: cannot write %s\n", json_path);
       return 1;
     }
-    char buf[1024];
+    char buf[2048];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
@@ -243,13 +332,23 @@ int Run(const ExperimentConfig& config) {
         "  \"detect_serial_tps\": %.0f,\n"
         "  \"detect_parallel_tps\": %.0f,\n"
         "  \"detect_speedup\": %.3f,\n"
+        "  \"detect_prf_keyed_hash_serial_tps\": %.0f,\n"
+        "  \"detect_prf_keyed_hash_parallel_tps\": %.0f,\n"
+        "  \"detect_prf_hmac_sha256_serial_tps\": %.0f,\n"
+        "  \"detect_prf_hmac_sha256_parallel_tps\": %.0f,\n"
+        "  \"detect_prf_siphash24_serial_tps\": %.0f,\n"
+        "  \"detect_prf_siphash24_parallel_tps\": %.0f,\n"
+        "  \"detect_prf_fast_gain\": %.3f,\n"
         "  \"index_build_ms\": %.4f\n"
         "}\n",
         config.num_tuples, config.domain_size, config.passes,
         parallel_params.num_threads, embed.serial_tps, embed.parallel_tps,
         embed.speedup, embed_apply_shards, embed_map.serial_tps,
         embed_map.parallel_tps, embed_map.speedup, detect.serial_tps,
-        detect.parallel_tps, detect.speedup, index_ms);
+        detect.parallel_tps, detect.speedup, prf_detect[0].serial_tps,
+        prf_detect[0].parallel_tps, prf_detect[1].serial_tps,
+        prf_detect[1].parallel_tps, prf_detect[2].serial_tps,
+        prf_detect[2].parallel_tps, prf_fast_gain, index_ms);
     out << buf;
     std::printf("json report: %s\n", json_path);
   }

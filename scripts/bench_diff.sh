@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
-# Diffs the embed rows of two BENCH_throughput.json reports:
+# Diffs the embed and detect rows of two BENCH_throughput.json reports:
 #   scripts/bench_diff.sh <baseline.json> <current.json> [regression-pct]
 #
-# Prints a per-key comparison of the embed_* throughput fields and emits a
-# GitHub warning annotation when a key regresses by more than
-# `regression-pct` (default 25%). Shared CI runners are noisy, so the diff
-# is informational — it never fails the job — but the annotation makes an
-# embed-throughput regression visible on the PR. A missing baseline (first
-# run, expired artifact) is skipped silently.
+# Prints a per-key comparison of the embed_* / detect_* throughput fields
+# (including the per-PRF-backend detect breakdown) and emits a GitHub
+# warning annotation when a key regresses by more than `regression-pct`
+# (default 25%). Shared CI runners are noisy, so the diff is informational
+# — it never fails the job — but the annotation makes a throughput
+# regression visible on the PR. A missing baseline (first run, expired
+# artifact) is skipped silently.
 set -euo pipefail
 
 baseline=${1:?usage: bench_diff.sh <baseline.json> <current.json> [pct]}
@@ -40,19 +41,28 @@ keys = [
     "embed_map_serial_tps",
     "embed_map_parallel_tps",
     "embed_map_speedup",
+    "detect_serial_tps",
+    "detect_parallel_tps",
+    "detect_speedup",
+    "detect_prf_keyed_hash_serial_tps",
+    "detect_prf_hmac_sha256_serial_tps",
+    "detect_prf_siphash24_serial_tps",
+    "detect_prf_siphash24_parallel_tps",
+    "detect_prf_fast_gain",
 ]
 
-print(f"{'embed row':<26}{'baseline':>14}{'current':>14}{'delta':>10}")
+print(f"{'bench row':<36}{'baseline':>14}{'current':>14}{'delta':>10}")
 for key in keys:
     old, new = baseline.get(key), current.get(key)
     if old is None or new is None:
-        # Baselines from before the sharded-embed rows lack the map keys.
-        print(f"{key:<26}{'-' if old is None else old:>14}"
+        # Baselines from before the sharded-embed / PRF-breakdown rows lack
+        # the newer keys.
+        print(f"{key:<36}{'-' if old is None else old:>14}"
               f"{'-' if new is None else new:>14}{'n/a':>10}")
         continue
     delta = 0.0 if old == 0 else (new - old) / old * 100.0
-    print(f"{key:<26}{old:>14}{new:>14}{delta:>+9.1f}%")
+    print(f"{key:<36}{old:>14}{new:>14}{delta:>+9.1f}%")
     if delta < -threshold:
-        print(f"::warning title=embed throughput regression::{key} fell "
+        print(f"::warning title=throughput regression::{key} fell "
               f"{-delta:.1f}% vs baseline ({old} -> {new})")
 EOF

@@ -90,6 +90,10 @@ WatermarkCertificate WatermarkCertificate::Create(
   cert.key_attr = options.key_attr;
   cert.target_attr = options.target_attr;
   cert.params = params;
+  // Record the backend the embedding *actually* ran with (params.prf may
+  // have been nullopt/auto): dispute-time detection must re-verify with the
+  // same primitive, whatever the environment says by then.
+  cert.params.prf = report.prf;
   cert.payload_length = report.payload_length;
   cert.wm = wm;
   cert.domain = report.domain;
@@ -111,6 +115,9 @@ std::string WatermarkCertificate::Serialize() const {
   out += "e=" + std::to_string(params.e) + "\n";
   out += "ecc=" + std::string(EccName(params.ecc)) + "\n";
   out += "hash=" + std::string(HashAlgorithmName(params.hash_algo)) + "\n";
+  out += "prf=" +
+         std::string(PrfKindName(params.prf.value_or(PrfKind::kKeyedHash))) +
+         "\n";
   out += "bit_index_mode=" +
          std::string(params.bit_index_mode == BitIndexMode::kModulo
                          ? "modulo"
@@ -143,6 +150,11 @@ Result<WatermarkCertificate> WatermarkCertificate::Deserialize(
     return Status::InvalidArgument("not a catmark certificate");
   }
   WatermarkCertificate cert;
+  // Certificates that predate the PRF subsystem carry no `prf=` field;
+  // they were embedded with the legacy keyed hash. Pinning the resolved
+  // kind here (instead of leaving auto) keeps dispute-time detection
+  // independent of whatever CATMARK_PRF says by then.
+  cert.params.prf = PrfKind::kKeyedHash;
   for (std::size_t i = 1; i < lines.size(); ++i) {
     const std::string_view line = StrTrim(lines[i]);
     if (line.empty()) continue;
@@ -164,6 +176,9 @@ Result<WatermarkCertificate> WatermarkCertificate::Deserialize(
       CATMARK_ASSIGN_OR_RETURN(cert.params.ecc, EccFromName(value));
     } else if (key == "hash") {
       CATMARK_ASSIGN_OR_RETURN(cert.params.hash_algo, HashFromName(value));
+    } else if (key == "prf") {
+      CATMARK_ASSIGN_OR_RETURN(const PrfKind prf, PrfKindFromName(value));
+      cert.params.prf = prf;
     } else if (key == "bit_index_mode") {
       cert.params.bit_index_mode = value == "msb" ? BitIndexMode::kMsbModL
                                                   : BitIndexMode::kModulo;
@@ -232,6 +247,8 @@ bool operator==(const WatermarkCertificate& a, const WatermarkCertificate& b) {
          a.target_attr == b.target_attr && a.params.e == b.params.e &&
          a.params.ecc == b.params.ecc &&
          a.params.hash_algo == b.params.hash_algo &&
+         a.params.prf.value_or(PrfKind::kKeyedHash) ==
+             b.params.prf.value_or(PrfKind::kKeyedHash) &&
          a.params.bit_index_mode == b.params.bit_index_mode &&
          a.params.min_category_keep == b.params.min_category_keep &&
          a.payload_length == b.payload_length && a.wm == b.wm &&

@@ -19,8 +19,11 @@ namespace catmark {
 /// The owner-side watermark certificate: every piece of metadata detection
 /// and dispute resolution need, in one serializable record.
 ///
-///  * Detection inputs: e / ECC / hash / payload length / wm length, the
-///    attribute pair, and the categorical domain.
+///  * Detection inputs: e / ECC / hash / keyed-PRF backend / payload length
+///    / wm length, the attribute pair, and the categorical domain. The PRF
+///    id pins the primitive disputes re-verify with; certificates from
+///    before the PRF subsystem lack the field and mean the legacy keyed
+///    hash.
 ///  * Remap recovery input (Section 4.5): the published frequency table.
 ///  * Dispute resolution (additive attacks, Section 6): a SHA-256
 ///    *commitment* to the secret keys. Publishing or timestamping the

@@ -5,6 +5,7 @@
 
 #include "core/params.h"
 #include "crypto/keyed_hash.h"
+#include "crypto/prf.h"
 #include "relation/value.h"
 
 namespace catmark {
@@ -43,6 +44,14 @@ std::uint64_t HashValue(const KeyedHasher& hasher, const Value& v);
 /// As above, but serializes into `scratch` (cleared first) so tight loops
 /// reuse one buffer per thread instead of allocating per call.
 std::uint64_t HashValue(const KeyedHasher& hasher, const Value& v,
+                        HashScratch& scratch);
+
+/// PRF-backend variant: the same canonical Value serialization fed through
+/// a KeyedPrf, so a "keyed-hash" PRF produces bit-identical results to the
+/// KeyedHasher overloads above. The row-at-a-time channels (incremental
+/// inserts, additive-attack injection) use this; the bulk pipelines batch
+/// through KeyedPrf::Hash64Column instead.
+std::uint64_t HashValue(const KeyedPrf& prf, const Value& v,
                         HashScratch& scratch);
 
 /// Maps a 64-bit hash to a wm_data index in [0, L).

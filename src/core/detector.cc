@@ -97,12 +97,20 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
   result.payload_length = payload_len;
 
   // Parallel precompute shared with the embedder: per-row fitness hash and
-  // (on the k2 path) payload index.
+  // (on the k2 path) payload index, all through the resolved keyed-PRF
+  // backend — which must be the embed-time one, or every fitness verdict
+  // differs and the mark reads as destroyed.
   const std::size_t threads =
       EffectiveThreadCount(params_.num_threads, rel.NumRows());
   const bool use_map = options.embedding_map != nullptr;
-  const TuplePlan plan = BuildTuplePlan(rel, key_col, keys_, params_,
-                                        payload_len, !use_map, threads);
+  TuplePlanOptions plan_options;
+  plan_options.payload_len = payload_len;
+  plan_options.with_payload_index = !use_map;
+  plan_options.num_threads = threads;
+  CATMARK_ASSIGN_OR_RETURN(plan_options.prf, ResolvePrfKind(params_.prf));
+  result.prf = plan_options.prf;
+  const TuplePlan plan =
+      BuildTuplePlan(rel, key_col, keys_, params_, plan_options);
   result.fit_tuples = plan.fit_count;
 
   // Domain-index view of the target column: a sweep-provided cache skips

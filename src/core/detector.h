@@ -64,6 +64,10 @@ struct DetectionResult {
   std::size_t positions_present = 0;   ///< payload positions with >=1 vote
   double payload_fill = 0.0;           ///< positions_present / payload_length
 
+  /// Keyed-PRF backend detection ran with (must match the embed-time one;
+  /// certificates carry it).
+  PrfKind prf = PrfKind::kKeyedHash;
+
   /// Per-bit decode confidence in [0,1] (majority margin; empty when the
   /// configured ECC has no confidence notion). Court-facing evidence
   /// quality: 1.0 = unanimous votes, 0.0 = fully erased / tied.

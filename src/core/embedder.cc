@@ -425,12 +425,19 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
   // Parallel precompute: fitness hashes and (on the k2 path) payload
   // indices in one pass, plus the domain-index view of the target column so
   // IndexOf runs once per dictionary entry instead of up to twice per fit
-  // tuple.
+  // tuple. The keyed-PRF backend resolves here (explicit params choice,
+  // else CATMARK_PRF, else the legacy keyed hash) so a typo'd backend name
+  // surfaces as InvalidArgument instead of embedding an undetectable mark.
   const std::size_t threads =
       EffectiveThreadCount(params_.num_threads, rel.NumRows());
+  TuplePlanOptions plan_options;
+  plan_options.payload_len = payload_len;
+  plan_options.with_payload_index = !options.build_embedding_map;
+  plan_options.num_threads = threads;
+  CATMARK_ASSIGN_OR_RETURN(plan_options.prf, ResolvePrfKind(params_.prf));
+  report.prf = plan_options.prf;
   const TuplePlan plan =
-      BuildTuplePlan(rel, key_col, keys_, params_, payload_len,
-                     !options.build_embedding_map, threads);
+      BuildTuplePlan(rel, key_col, keys_, params_, plan_options);
 
   // Dictionary-encoded targets apply alterations as raw code writes: intern
   // every domain value up front — before the index view is built, so its

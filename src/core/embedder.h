@@ -55,6 +55,11 @@ struct EmbedReport {
   /// diagnostic — every other report field, the relation, the map and the
   /// ledger are bit-identical either way.
   std::size_t apply_shards = 1;
+
+  /// Keyed-PRF backend the embedding actually ran with (WatermarkParams::
+  /// prf resolved against CATMARK_PRF) — detector input, recorded in the
+  /// certificate so disputes re-verify with the right primitive.
+  PrfKind prf = PrfKind::kKeyedHash;
   CategoricalDomain domain;           ///< domain used — detector input
   EmbeddingMap embedding_map;         ///< populated iff build_embedding_map
 };

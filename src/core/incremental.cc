@@ -18,6 +18,12 @@ IncrementalWatermarker::IncrementalWatermarker(WatermarkKeySet keys,
       payload_length_(report.payload_length) {
   CATMARK_CHECK(keys_.valid());
   CATMARK_CHECK_GE(payload_length_, wm.size());
+  // Pin the PRF backend the original embedding ran with: inserts hashed
+  // under a CATMARK_PRF re-resolved in some later process would be
+  // invisible to dispute-time detection (which follows the certificate).
+  params_.prf = params_.prf.value_or(report.prf);
+  prf_k1_ = CreateKeyedPrf(*params_.prf, keys_.k1, params_.hash_algo);
+  prf_k2_ = CreateKeyedPrf(*params_.prf, keys_.k2, params_.hash_algo);
   const auto ecc = CreateEcc(params_.ecc);
   Result<BitVector> encoded = ecc->Encode(wm, payload_length_);
   CATMARK_CHECK(encoded.ok()) << encoded.status().ToString();
@@ -28,15 +34,13 @@ Result<Value> IncrementalWatermarker::MarkedValueFor(const Value& key_value,
                                                      bool& fit) const {
   fit = false;
   if (key_value.is_null()) return Value();
-  const FitnessSelector fitness(keys_.k1, params_.e, params_.hash_algo);
   HashScratch scratch;
   scratch.reserve(64);
-  const std::uint64_t h1 = fitness.KeyHash(key_value, scratch);
+  const std::uint64_t h1 = HashValue(*prf_k1_, key_value, scratch);
   if (h1 % params_.e != 0) return Value();
   fit = true;
-  const KeyedHasher position_hasher(keys_.k2, params_.hash_algo);
   const std::size_t idx =
-      PayloadIndexFromHash(HashValue(position_hasher, key_value, scratch),
+      PayloadIndexFromHash(HashValue(*prf_k2_, key_value, scratch),
                            payload_length_, params_.bit_index_mode);
   const std::size_t t =
       SelectValueIndex(h1, domain_.size(), wm_data_.Get(idx));

@@ -1,6 +1,7 @@
 #ifndef CATMARK_CORE_INCREMENTAL_H_
 #define CATMARK_CORE_INCREMENTAL_H_
 
+#include <memory>
 #include <string>
 
 #include "common/bitvec.h"
@@ -19,13 +20,17 @@ namespace catmark {
 /// live feed can keep a marked relation consistent without re-running the
 /// full embedding pass.
 ///
-/// The payload length is pinned at construction (it must match the original
-/// embedding; see WatermarkParams::payload_length), so detection over the
-/// grown relation keeps working.
+/// The payload length and the keyed-PRF backend are pinned at construction
+/// (they must match the original embedding; see WatermarkParams::
+/// payload_length and EmbedReport::prf), so detection over the grown
+/// relation keeps working whatever the environment says later.
 class IncrementalWatermarker {
  public:
   /// `report` is the original embedding's report — it carries the payload
-  /// length and the attribute domain the updates must agree on.
+  /// length, the attribute domain and the PRF backend the updates must
+  /// agree on. An explicit `params.prf` wins; on auto (nullopt) the
+  /// backend is taken from the report, *not* re-resolved from CATMARK_PRF
+  /// at insert time.
   IncrementalWatermarker(WatermarkKeySet keys, WatermarkParams params,
                          const EmbedOptions& options, const EmbedReport& report,
                          BitVector wm);
@@ -54,6 +59,10 @@ class IncrementalWatermarker {
   CategoricalDomain domain_;
   std::size_t payload_length_;
   BitVector wm_data_;
+  // Built once here: inserts must not pay the backend's key schedule (for
+  // siphash24, a SHA-256 key derivation) per tuple.
+  std::unique_ptr<KeyedPrf> prf_k1_;
+  std::unique_ptr<KeyedPrf> prf_k2_;
 };
 
 }  // namespace catmark

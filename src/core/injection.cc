@@ -60,8 +60,15 @@ Result<InjectionReport> FitTupleInjector::Inject(
   CATMARK_ASSIGN_OR_RETURN(const BitVector wm_data,
                            ecc->Encode(wm, report.payload_length));
 
-  const FitnessSelector fitness(keys_.k1, params_.e, params_.hash_algo);
-  const KeyedHasher position_hasher(keys_.k2, params_.hash_algo);
+  // The injected tuples must be fit under the same PRF backend the victim
+  // detection run will use.
+  CATMARK_ASSIGN_OR_RETURN(const PrfKind prf, ResolvePrfKind(params_.prf));
+  const std::unique_ptr<KeyedPrf> prf_k1 =
+      CreateKeyedPrf(prf, keys_.k1, params_.hash_algo);
+  const std::unique_ptr<KeyedPrf> prf_k2 =
+      CreateKeyedPrf(prf, keys_.k2, params_.hash_algo);
+  HashScratch scratch;
+  scratch.reserve(64);
   Xoshiro256ss rng(config.seed);
 
   // Existing key values — injected keys must stay unique.
@@ -84,7 +91,7 @@ Result<InjectionReport> FitTupleInjector::Inject(
     } else {
       key_value = Value("K" + std::to_string(rng.Next()));
     }
-    const std::uint64_t h1 = fitness.KeyHash(key_value);
+    const std::uint64_t h1 = HashValue(*prf_k1, key_value, scratch);
     if (h1 % params_.e != 0) continue;
     if (!used_keys.insert(key_value.ToString()).second) continue;
 
@@ -93,7 +100,7 @@ Result<InjectionReport> FitTupleInjector::Inject(
     Row row = rel.row(rng.NextBounded(base_n));
     row[key_col] = key_value;
     const std::size_t idx = PayloadIndexFromHash(
-        HashValue(position_hasher, key_value), report.payload_length,
+        HashValue(*prf_k2, key_value, scratch), report.payload_length,
         params_.bit_index_mode);
     const std::size_t t =
         SelectValueIndex(h1, domain.size(), wm_data.Get(idx));

@@ -2,8 +2,10 @@
 #define CATMARK_CORE_PARAMS_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "crypto/hash.h"
+#include "crypto/prf.h"
 #include "ecc/code.h"
 
 namespace catmark {
@@ -26,8 +28,16 @@ struct WatermarkParams {
   /// analyzed in Section 4.4 and swept in Figures 5-6.
   std::uint64_t e = 60;
 
-  /// crypto_hash() choice (MD5/SHA per Section 2.2; SHA-256 default).
+  /// crypto_hash() choice (MD5/SHA per Section 2.2; SHA-256 default). Only
+  /// consulted by the keyed-hash PRF backend below.
   HashAlgorithm hash_algo = HashAlgorithm::kSha256;
+
+  /// Keyed-PRF backend for tuple fitness / value / position selection.
+  /// nullopt = auto: the CATMARK_PRF environment variable when set (unknown
+  /// names are InvalidArgument at embed/detect time), otherwise the legacy
+  /// keyed hash. Embedder and detector must use the same backend — the
+  /// certificate records which one embedding used.
+  std::optional<PrfKind> prf;
 
   /// Error correcting code for wm -> wm_data (majority voting in the paper).
   EccKind ecc = EccKind::kMajorityVoting;

@@ -1,75 +1,140 @@
 #include "core/tuple_plan.h"
 
 #include <limits>
+#include <string_view>
 
 #include "common/check.h"
 #include "common/parallel.h"
 #include "core/codec.h"
+#include "relation/column_store.h"
 
 namespace catmark {
+
+namespace {
+
+// Values batched into one Hash64Column call: large enough to amortize the
+// virtual dispatch and key-schedule reads, small enough that the serialized
+// arena and hash outputs stay cache-resident per worker.
+constexpr std::size_t kHashBatch = 1024;
+
+// Per-worker batch builder: values serialize back-to-back into one reused
+// arena; the string_view probes are materialized only once the chunk is
+// complete (the arena may reallocate while it grows).
+struct HashBatch {
+  std::vector<std::uint8_t> arena;
+  std::vector<std::size_t> ends;  // arena offset after each value
+  std::vector<std::size_t> ids;   // row index / dict code per value
+  std::vector<std::string_view> views;
+  std::vector<std::uint64_t> h1;
+
+  HashBatch() {
+    arena.reserve(kHashBatch * 24);
+    ends.reserve(kHashBatch);
+    ids.reserve(kHashBatch);
+    views.reserve(kHashBatch);
+    h1.reserve(kHashBatch);
+  }
+
+  void Clear() {
+    arena.clear();
+    ends.clear();
+    ids.clear();
+  }
+
+  std::size_t size() const { return ends.size(); }
+
+  void Add(const Value& v, std::size_t id) {
+    v.SerializeForHash(arena);
+    ends.push_back(arena.size());
+    ids.push_back(id);
+  }
+
+  // One batched PRF call over the whole chunk.
+  void Hash(const KeyedPrf& prf) {
+    views.resize(ends.size());
+    h1.resize(ends.size());
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < ends.size(); ++i) {
+      views[i] = std::string_view(
+          reinterpret_cast<const char*>(arena.data()) + begin,
+          ends[i] - begin);
+      begin = ends[i];
+    }
+    prf.Hash64Column(views, std::span<std::uint64_t>(h1.data(), h1.size()));
+  }
+};
+
+}  // namespace
 
 TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
                          const WatermarkKeySet& keys,
                          const WatermarkParams& params,
-                         std::size_t payload_len, bool with_payload_index,
-                         std::size_t num_threads) {
+                         const TuplePlanOptions& options) {
   const std::size_t n = rel.NumRows();
   TuplePlan plan;
   plan.fit.assign(n, 0);
   plan.h1.assign(n, 0);
-  if (with_payload_index) {
-    CATMARK_CHECK_GE(payload_len, 1u);
-    CATMARK_CHECK_LE(payload_len,
+  if (options.with_payload_index) {
+    CATMARK_CHECK_GE(options.payload_len, 1u);
+    CATMARK_CHECK_LE(options.payload_len,
                      static_cast<std::size_t>(
                          std::numeric_limits<std::uint32_t>::max()));
     plan.payload_index.assign(n, 0);
   }
 
-  const std::size_t threads = EffectiveThreadCount(num_threads, n);
+  // One immutable PRF instance per key, shared by every worker: the key
+  // schedule is set up here, once, not per shard or per row.
+  const std::unique_ptr<KeyedPrf> prf_k1 =
+      CreateKeyedPrf(options.prf, keys.k1, params.hash_algo);
+  const std::unique_ptr<KeyedPrf> prf_k2 =
+      CreateKeyedPrf(options.prf, keys.k2, params.hash_algo);
+
+  const std::size_t threads = EffectiveThreadCount(options.num_threads, n);
   const ColumnStore& store = rel.store();
 
-  if (store.IsDictColumn(key_col)) {
-    // Dictionary-encoded key column (the cross-categorical passes of the
-    // multi-attribute closure): every row with the same key value hashes
-    // identically, so hash each distinct dictionary entry once and fan the
-    // verdicts out through the code vector — |dict| keyed hashes instead
-    // of N.
+  if (store.IsDictColumn(key_col) && options.use_dict_cache) {
+    // Dictionary-encoded key column: every row with the same key value
+    // hashes identically, so hash each live distinct dictionary entry once
+    // into a per-dict-code h1/fit cache and fan the verdicts out through
+    // the code vector — |dict| keyed hashes instead of N.
     const std::vector<Value>& dict = store.Dict(key_col);
     const std::vector<std::int32_t>& codes = store.Codes(key_col);
     const std::vector<std::int64_t>& live = store.DictLiveCounts(key_col);
     std::vector<std::uint64_t> h1_of(dict.size(), 0);
     std::vector<std::uint8_t> fit_of(dict.size(), 0);
-    std::vector<std::uint32_t> index_of(with_payload_index ? dict.size() : 0,
-                                        0);
+    std::vector<std::uint32_t> index_of(
+        options.with_payload_index ? dict.size() : 0, 0);
     // The keyed hashing dominates, and a near-unique categorical key means
     // |dict| ~ N — shard it like the plain path so plan build keeps its
     // multi-core scaling.
-    ParallelFor(dict.size(),
-                EffectiveThreadCount(num_threads, dict.size()),
-                [&](std::size_t /*shard*/, std::size_t begin,
-                    std::size_t end) {
-                  const FitnessSelector fitness(keys.k1, params.e,
-                                                params.hash_algo);
-                  const KeyedHasher position_hasher(keys.k2,
-                                                    params.hash_algo);
-                  HashScratch scratch;
-                  scratch.reserve(64);
-                  for (std::size_t code = begin; code < end; ++code) {
-                    // Dead entries (live count 0) have no referencing row.
-                    if (live[code] == 0) continue;
-                    const std::uint64_t h1 =
-                        fitness.KeyHash(dict[code], scratch);
-                    if (h1 % params.e != 0) continue;
-                    fit_of[code] = 1;
-                    h1_of[code] = h1;
-                    if (with_payload_index) {
-                      index_of[code] =
-                          static_cast<std::uint32_t>(PayloadIndexFromHash(
-                              HashValue(position_hasher, dict[code], scratch),
-                              payload_len, params.bit_index_mode));
-                    }
-                  }
-                });
+    ParallelFor(
+        dict.size(), EffectiveThreadCount(options.num_threads, dict.size()),
+        [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
+          HashBatch batch;
+          for (std::size_t code = begin; code < end;) {
+            batch.Clear();
+            for (; code < end && batch.size() < kHashBatch; ++code) {
+              // Dead entries (live count 0) have no referencing row.
+              if (live[code] == 0) continue;
+              batch.Add(dict[code], code);
+            }
+            batch.Hash(*prf_k1);
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+              const std::uint64_t h1 = batch.h1[i];
+              if (h1 % params.e != 0) continue;
+              const std::size_t c = batch.ids[i];
+              fit_of[c] = 1;
+              h1_of[c] = h1;
+              if (options.with_payload_index) {
+                // The fitness rate is 1/e, so the k2 position hash runs on
+                // a small minority of entries — single-shot is fine here.
+                index_of[c] = static_cast<std::uint32_t>(PayloadIndexFromHash(
+                    prf_k2->Hash64(batch.views[i]), options.payload_len,
+                    params.bit_index_mode));
+              }
+            }
+          }
+        });
     plan.shard_fit.assign(threads, 0);
     std::vector<std::size_t>& shard_fit = plan.shard_fit;
     ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
@@ -81,7 +146,7 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
         plan.fit[j] = 1;
         plan.h1[j] = h1_of[static_cast<std::size_t>(code)];
         ++local_fit;
-        if (with_payload_index) {
+        if (options.with_payload_index) {
           plan.payload_index[j] = index_of[static_cast<std::size_t>(code)];
         }
       }
@@ -91,30 +156,39 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
     return plan;
   }
 
-  const std::vector<Value>& key_values = store.PlainValues(key_col);
+  // Per-row batch path (plain key columns, or the dict cache disabled for
+  // the parity tests): serialize each shard's keys chunk-wise into one
+  // arena and hash the chunk with a single batched PRF call.
+  const ColumnReader key_reader(store, key_col);
   plan.shard_fit.assign(threads, 0);
   std::vector<std::size_t>& shard_fit = plan.shard_fit;
   ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
                               std::size_t end) {
-    // Per-worker hasher state and scratch buffer: keyed hashing allocates
-    // nothing inside the row loop.
-    const FitnessSelector fitness(keys.k1, params.e, params.hash_algo);
-    const KeyedHasher position_hasher(keys.k2, params.hash_algo);
-    HashScratch scratch;
-    scratch.reserve(64);
+    HashBatch batch;
     std::size_t local_fit = 0;
-    for (std::size_t j = begin; j < end; ++j) {
-      const Value& key_value = key_values[j];
-      if (key_value.is_null()) continue;
-      const std::uint64_t h1 = fitness.KeyHash(key_value, scratch);
-      if (h1 % params.e != 0) continue;
-      plan.fit[j] = 1;
-      plan.h1[j] = h1;
-      ++local_fit;
-      if (with_payload_index) {
-        plan.payload_index[j] = static_cast<std::uint32_t>(
-            PayloadIndexFromHash(HashValue(position_hasher, key_value, scratch),
-                                 payload_len, params.bit_index_mode));
+    for (std::size_t j = begin; j < end;) {
+      batch.Clear();
+      for (; j < end && batch.size() < kHashBatch; ++j) {
+        const Value& key_value = key_reader[j];
+        if (key_value.is_null()) continue;
+        batch.Add(key_value, j);
+      }
+      batch.Hash(*prf_k1);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::uint64_t h1 = batch.h1[i];
+        if (h1 % params.e != 0) continue;
+        const std::size_t row = batch.ids[i];
+        plan.fit[row] = 1;
+        plan.h1[row] = h1;
+        ++local_fit;
+        if (options.with_payload_index) {
+          // Reuses the serialized bytes still alive in the arena; only the
+          // ~1/e fit rows ever reach the k2 hash.
+          plan.payload_index[row] =
+              static_cast<std::uint32_t>(PayloadIndexFromHash(
+                  prf_k2->Hash64(batch.views[i]), options.payload_len,
+                  params.bit_index_mode));
+        }
       }
     }
     shard_fit[shard] = local_fit;

@@ -6,6 +6,7 @@
 
 #include "core/keys.h"
 #include "core/params.h"
+#include "crypto/prf.h"
 #include "relation/relation.h"
 
 namespace catmark {
@@ -22,8 +23,13 @@ namespace catmark {
 ///     only populated when the k2 position path is in use — the Figure 1(b)
 ///     embedding-map path assigns indices sequentially at apply time).
 ///
-/// Every worker reuses one HashScratch, so plan construction performs no
-/// per-row allocations.
+/// All keyed hashing goes through the configured KeyedPrf backend
+/// (TuplePlanOptions::prf). Dictionary-encoded key columns hash each live
+/// distinct dictionary entry once into a per-dict-code h1/fit cache and
+/// gather per-row results through the code vector; plain columns serialize
+/// rows into per-worker arenas and hash them through the batch
+/// Hash64Column API, so neither path allocates or virtual-dispatches
+/// per row.
 struct TuplePlan {
   std::vector<std::uint8_t> fit;
   std::vector<std::uint64_t> h1;
@@ -39,14 +45,30 @@ struct TuplePlan {
   std::size_t size() const { return fit.size(); }
 };
 
-/// Builds the plan with `num_threads` workers (0 = auto). `payload_len` is
-/// only consulted when `with_payload_index` is set; it must then be >= 1 and
-/// fit in 32 bits.
+/// Knobs of the plan build, separated from WatermarkParams because the PRF
+/// choice arrives *resolved*: BuildTuplePlan cannot fail, so its callers
+/// (which can) resolve WatermarkParams::prf / CATMARK_PRF first.
+struct TuplePlanOptions {
+  /// Payload (|wm_data|) length; only consulted when `with_payload_index`
+  /// is set, and must then be >= 1 and fit in 32 bits.
+  std::size_t payload_len = 0;
+  /// Populate payload_index[] (the k2 position path). The Figure 1(b)
+  /// embedding-map path leaves it off.
+  bool with_payload_index = false;
+  /// Worker threads (0 = auto).
+  std::size_t num_threads = 0;
+  /// Keyed-PRF backend for every hash in the plan.
+  PrfKind prf = PrfKind::kKeyedHash;
+  /// Test-only escape hatch: force the per-row batch path even on a
+  /// dictionary-encoded key column, so the property suite can assert the
+  /// per-dict-code cache is bit-identical to the uncached build.
+  bool use_dict_cache = true;
+};
+
 TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
                          const WatermarkKeySet& keys,
                          const WatermarkParams& params,
-                         std::size_t payload_len, bool with_payload_index,
-                         std::size_t num_threads = 0);
+                         const TuplePlanOptions& options);
 
 }  // namespace catmark
 

@@ -1,0 +1,189 @@
+#include "crypto/prf.h"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/siphash.h"
+
+namespace catmark {
+
+namespace {
+
+constexpr PrfKind kRegisteredPrfs[] = {
+    PrfKind::kKeyedHash, PrfKind::kHmacSha256, PrfKind::kSipHash24};
+
+/// The paper-literal H(k;V;k) sandwich, delegating to KeyedHasher so this
+/// backend can never drift from the construction every deployed watermark
+/// was embedded with (golden tests pin the equivalence).
+class KeyedHashPrf final : public KeyedPrf {
+ public:
+  KeyedHashPrf(const SecretKey& key, HashAlgorithm algo)
+      : hasher_(key, algo) {}
+
+  std::string_view Name() const override { return PrfKindName(kind()); }
+  PrfKind kind() const override { return PrfKind::kKeyedHash; }
+
+  std::uint64_t Hash64(const std::uint8_t* data,
+                       std::size_t len) const override {
+    return hasher_.Hash64(data, len);
+  }
+
+  void Hash64Column(std::span<const std::string_view> inputs,
+                    std::span<std::uint64_t> out) const override {
+    CATMARK_CHECK_EQ(inputs.size(), out.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      out[i] = hasher_.Hash64(
+          reinterpret_cast<const std::uint8_t*>(inputs[i].data()),
+          inputs[i].size());
+    }
+  }
+
+ private:
+  KeyedHasher hasher_;
+};
+
+/// RFC 2104 HMAC-SHA256; the ipad/opad key schedule lives in the Hmac
+/// member, so it is derived once per PRF instance rather than per message.
+class HmacSha256Prf final : public KeyedPrf {
+ public:
+  explicit HmacSha256Prf(const SecretKey& key)
+      : hmac_(HashAlgorithm::kSha256, key.bytes()) {}
+
+  std::string_view Name() const override { return PrfKindName(kind()); }
+  PrfKind kind() const override { return PrfKind::kHmacSha256; }
+
+  std::uint64_t Hash64(const std::uint8_t* data,
+                       std::size_t len) const override {
+    return hmac_.Compute(data, len).ToUint64();
+  }
+
+  void Hash64Column(std::span<const std::string_view> inputs,
+                    std::span<std::uint64_t> out) const override {
+    CATMARK_CHECK_EQ(inputs.size(), out.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      out[i] = hmac_
+                   .Compute(reinterpret_cast<const std::uint8_t*>(
+                                inputs[i].data()),
+                            inputs[i].size())
+                   .ToUint64();
+    }
+  }
+
+ private:
+  Hmac hmac_;
+};
+
+/// SipHash-2-4 over a 128-bit key derived as SHA-256(key bytes)[0..16):
+/// SecretKey material is arbitrary-length, and hashing it first both
+/// compresses long keys and whitens short ones, mirroring HMAC's treatment
+/// of oversized keys.
+class SipHash24Prf final : public KeyedPrf {
+ public:
+  explicit SipHash24Prf(const SecretKey& key) {
+    Sha256 sha;
+    const Digest d =
+        sha.Hash(key.bytes().data(), key.bytes().size());
+    std::uint8_t k[16];
+    for (int i = 0; i < 16; ++i) k[i] = d.bytes[i];
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    for (int i = 7; i >= 0; --i) lo = (lo << 8) | k[i];
+    for (int i = 15; i >= 8; --i) hi = (hi << 8) | k[i];
+    k0_ = lo;
+    k1_ = hi;
+  }
+
+  std::string_view Name() const override { return PrfKindName(kind()); }
+  PrfKind kind() const override { return PrfKind::kSipHash24; }
+
+  std::uint64_t Hash64(const std::uint8_t* data,
+                       std::size_t len) const override {
+    return SipHash24(k0_, k1_, data, len);
+  }
+
+  void Hash64Column(std::span<const std::string_view> inputs,
+                    std::span<std::uint64_t> out) const override {
+    CATMARK_CHECK_EQ(inputs.size(), out.size());
+    const std::uint64_t k0 = k0_;
+    const std::uint64_t k1 = k1_;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      out[i] = SipHash24(
+          k0, k1, reinterpret_cast<const std::uint8_t*>(inputs[i].data()),
+          inputs[i].size());
+    }
+  }
+
+ private:
+  std::uint64_t k0_ = 0;
+  std::uint64_t k1_ = 0;
+};
+
+}  // namespace
+
+std::string_view PrfKindName(PrfKind kind) {
+  switch (kind) {
+    case PrfKind::kKeyedHash:
+      return "keyed-hash";
+    case PrfKind::kHmacSha256:
+      return "hmac-sha256";
+    case PrfKind::kSipHash24:
+      return "siphash24";
+  }
+  return "unknown";
+}
+
+std::string RegisteredPrfNameList() {
+  std::string out;
+  for (const PrfKind kind : kRegisteredPrfs) {
+    if (!out.empty()) out += ", ";
+    out += PrfKindName(kind);
+  }
+  return out;
+}
+
+Result<PrfKind> PrfKindFromName(std::string_view name) {
+  for (const PrfKind kind : kRegisteredPrfs) {
+    if (PrfKindName(kind) == name) return kind;
+  }
+  return Status::InvalidArgument("unknown PRF backend '" + std::string(name) +
+                                 "' (registered: " + RegisteredPrfNameList() +
+                                 ")");
+}
+
+Result<PrfKind> ResolvePrfKindEnv(const char* text, PrfKind fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  return PrfKindFromName(text);
+}
+
+Result<PrfKind> ResolvePrfKind(const std::optional<PrfKind>& choice) {
+  if (choice.has_value()) return *choice;
+  return ResolvePrfKindEnv(std::getenv("CATMARK_PRF"), PrfKind::kKeyedHash);
+}
+
+void KeyedPrf::Hash64Column(std::span<const std::string_view> inputs,
+                            std::span<std::uint64_t> out) const {
+  CATMARK_CHECK_EQ(inputs.size(), out.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out[i] = Hash64(inputs[i]);
+  }
+}
+
+std::unique_ptr<KeyedPrf> CreateKeyedPrf(PrfKind kind, const SecretKey& key,
+                                         HashAlgorithm algo) {
+  switch (kind) {
+    case PrfKind::kKeyedHash:
+      return std::make_unique<KeyedHashPrf>(key, algo);
+    case PrfKind::kHmacSha256:
+      return std::make_unique<HmacSha256Prf>(key);
+    case PrfKind::kSipHash24:
+      return std::make_unique<SipHash24Prf>(key);
+  }
+  CATMARK_CHECK(false) << "unreachable PrfKind";
+  return nullptr;
+}
+
+}  // namespace catmark

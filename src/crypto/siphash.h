@@ -1,0 +1,24 @@
+#ifndef CATMARK_CRYPTO_SIPHASH_H_
+#define CATMARK_CRYPTO_SIPHASH_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace catmark {
+
+/// SipHash-2-4 (Aumasson & Bernstein, 2012): a fast keyed PRF with a
+/// 128-bit key and 64-bit output, designed exactly for the "short-input
+/// authentication" shape of the watermarking fitness test. This is the raw
+/// primitive pinned by the reference test vectors; the KeyedPrf registry
+/// wraps it behind key derivation from a SecretKey.
+std::uint64_t SipHash24(std::uint64_t k0, std::uint64_t k1,
+                        const std::uint8_t* data, std::size_t len);
+
+/// As above with the key given as 16 bytes, split little-endian into
+/// (k0, k1) — the layout of the published reference vectors.
+std::uint64_t SipHash24(const std::uint8_t key[16], const std::uint8_t* data,
+                        std::size_t len);
+
+}  // namespace catmark
+
+#endif  // CATMARK_CRYPTO_SIPHASH_H_

@@ -27,10 +27,11 @@ std::size_t EnvSizeT(const char* name, std::size_t fallback) {
   std::fprintf(
       exit_code == 0 ? stdout : stderr,
       "Usage: %s [--n=<tuples>] [--passes=<k>] [--domain=<size>]\n"
-      "          [--wm-bits=<b>] [--zipf=<s>] [--seed=<s>] [--help]\n"
+      "          [--wm-bits=<b>] [--zipf=<s>] [--seed=<s>]\n"
+      "          [--prf=<%s>] [--help]\n"
       "Flags override the CATMARK_N / CATMARK_PASSES / CATMARK_DOMAIN /\n"
-      "CATMARK_FULL environment variables.\n",
-      argv0);
+      "CATMARK_FULL / CATMARK_PRF environment variables.\n",
+      argv0, RegisteredPrfNameList().c_str());
   std::exit(exit_code);
 }
 
@@ -108,6 +109,13 @@ ExperimentConfig ExperimentConfig::FromArgs(int argc, char** argv) {
       config.zipf_s = ParseDoubleOrDie("--zipf", value, argv[0]);
     } else if ((value = FlagValue("--seed", argc, argv, &i)) != nullptr) {
       config.base_seed = ParseSizeTOrDie("--seed", value, argv[0]);
+    } else if ((value = FlagValue("--prf", argc, argv, &i)) != nullptr) {
+      const Result<PrfKind> prf = PrfKindFromName(value);
+      if (!prf.ok()) {
+        std::fprintf(stderr, "%s\n", prf.status().ToString().c_str());
+        PrintUsageAndExit(argv[0], 2);
+      }
+      config.prf = prf.value();
     } else {
       std::fprintf(stderr, "Unknown flag: %s\n", argv[i]);
       PrintUsageAndExit(argv[0], 2);
@@ -139,6 +147,11 @@ TrialOutcome RunAveragedTrial(const ExperimentConfig& config,
   gen.seed = config.base_seed;
   const Relation original = GenerateKeyedCategorical(gen);
 
+  // The config-level PRF override wins over whatever the caller's params
+  // say; otherwise params flow through untouched (auto resolution included).
+  WatermarkParams effective_params = params;
+  if (config.prf.has_value()) effective_params.prf = config.prf;
+
   std::vector<double> alterations;
   double fill_sum = 0.0;
   double embed_alteration_sum = 0.0;
@@ -149,7 +162,7 @@ TrialOutcome RunAveragedTrial(const ExperimentConfig& config,
     const BitVector wm = MakeWatermark(config.wm_bits, pass_seed ^ 0xabcdef);
 
     Relation marked = original;
-    const Embedder embedder(keys, params);
+    const Embedder embedder(keys, effective_params);
     EmbedOptions embed_options;
     embed_options.key_attr = "K";
     embed_options.target_attr = "A";
@@ -160,7 +173,7 @@ TrialOutcome RunAveragedTrial(const ExperimentConfig& config,
     Result<Relation> attacked = attack(marked, pass_seed ^ 0x5eed);
     CATMARK_CHECK(attacked.ok()) << attacked.status().ToString();
 
-    const Detector detector(keys, params);
+    const Detector detector(keys, effective_params);
     DetectOptions detect_options;
     detect_options.key_attr = "K";
     detect_options.target_attr = "A";

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "common/result.h"
 #include "core/embedder.h"
 #include "core/params.h"
+#include "crypto/prf.h"
 #include "relation/relation.h"
 
 namespace catmark {
@@ -30,13 +32,20 @@ struct ExperimentConfig {
   std::size_t passes = 15;
   std::uint64_t base_seed = 20040301;  // ICDE 2004, March
 
+  /// Keyed-PRF backend override for every embed/detect the experiment runs.
+  /// nullopt = auto (CATMARK_PRF when set, else the legacy keyed hash) —
+  /// same resolution as WatermarkParams::prf, which RunAveragedTrial feeds
+  /// it into.
+  std::optional<PrfKind> prf;
+
   static ExperimentConfig FromEnv();
 
   /// FromEnv() plus command-line overrides: --n=<tuples>, --passes=<k>,
-  /// --domain=<size>, --wm-bits=<b>, --zipf=<s>, --seed=<s>. Flags win over
-  /// the environment, so CI can smoke-run every bench with a tiny
-  /// `--n ... --passes 1` regardless of the ambient configuration.
-  /// Unknown flags abort with a usage message; --help prints it and exits.
+  /// --domain=<size>, --wm-bits=<b>, --zipf=<s>, --seed=<s>,
+  /// --prf=<backend>. Flags win over the environment, so CI can smoke-run
+  /// every bench with a tiny `--n ... --passes 1` regardless of the ambient
+  /// configuration. Unknown flags (and unregistered --prf backends) abort
+  /// with a usage message; --help prints it and exits.
   static ExperimentConfig FromArgs(int argc, char** argv);
 };
 

@@ -112,6 +112,76 @@ TEST(CertificateTest, NonDefaultParamsRoundTrip) {
   EXPECT_TRUE(back == s.cert);
 }
 
+TEST(CertificateTest, RecordsThePrfBackendUsed) {
+  // Embed under the fast backend: the certificate must pin it so dispute-
+  // time detection re-verifies with the right primitive.
+  CertTestData s;
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 5000;
+  gen.domain_size = 80;
+  gen.seed = 111;
+  s.marked = GenerateKeyedCategorical(gen);
+  s.params.e = 40;
+  s.params.prf = PrfKind::kSipHash24;
+  s.wm = MakeWatermark(10, 111);
+  EmbedOptions options;
+  options.key_attr = "K";
+  options.target_attr = "A";
+  const EmbedReport report =
+      Embedder(s.keys, s.params).Embed(s.marked, options, s.wm).value();
+  EXPECT_EQ(report.prf, PrfKind::kSipHash24);
+  s.cert = WatermarkCertificate::Create(s.keys, s.params, options, report,
+                                        s.wm);
+  EXPECT_NE(s.cert.Serialize().find("prf=siphash24"), std::string::npos);
+
+  const WatermarkCertificate back =
+      WatermarkCertificate::Deserialize(s.cert.Serialize()).value();
+  EXPECT_TRUE(back == s.cert);
+  ASSERT_TRUE(back.params.prf.has_value());
+  EXPECT_EQ(*back.params.prf, PrfKind::kSipHash24);
+
+  // One-call certificate detection picks the backend up transparently.
+  const CertifiedDetection result =
+      DetectWithCertificate(s.marked, back, s.keys).value();
+  EXPECT_TRUE(result.decision.owned);
+  EXPECT_EQ(result.detection.prf, PrfKind::kSipHash24);
+}
+
+TEST(CertificateTest, LegacyCertificateWithoutPrfFieldStillVerifies) {
+  // Certificates issued before the PRF subsystem carry no prf= line; they
+  // must keep deserializing and must verify with the legacy keyed hash.
+  const CertTestData s = MakeSetup();
+  std::string text = s.cert.Serialize();
+  const std::size_t pos = text.find("prf=");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, text.find('\n', pos) - pos + 1);
+  ASSERT_EQ(text.find("prf="), std::string::npos);
+
+  const WatermarkCertificate legacy =
+      WatermarkCertificate::Deserialize(text).value();
+  ASSERT_TRUE(legacy.params.prf.has_value());
+  EXPECT_EQ(*legacy.params.prf, PrfKind::kKeyedHash);
+  EXPECT_TRUE(legacy == s.cert);
+
+  const CertifiedDetection result =
+      DetectWithCertificate(s.marked, legacy, s.keys).value();
+  EXPECT_TRUE(result.decision.owned);
+  EXPECT_EQ(result.detection.wm, s.cert.wm);
+}
+
+TEST(CertificateTest, RejectsUnknownPrfName) {
+  const CertTestData s = MakeSetup();
+  std::string text = s.cert.Serialize();
+  const std::size_t pos = text.find("prf=keyed-hash");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("prf=keyed-hash").size(), "prf=rot13");
+  const auto result = WatermarkCertificate::Deserialize(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  // The error teaches the valid choices.
+  EXPECT_NE(result.status().ToString().find("siphash24"), std::string::npos);
+}
+
 TEST(CertificateTest, RejectsGarbage) {
   EXPECT_FALSE(WatermarkCertificate::Deserialize("not a cert").ok());
   EXPECT_FALSE(WatermarkCertificate::Deserialize(

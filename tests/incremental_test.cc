@@ -115,6 +115,39 @@ TEST(IncrementalTest, RefreshLeavesUnfitTuplesAlone) {
   EXPECT_EQ(f.rel.Get(unfit_row, 1), before);
 }
 
+TEST(IncrementalTest, PinsTheEmbedTimePrfBackendNotTheEnvironment) {
+  // Embed under the fast backend, then construct the incremental
+  // watermarker with params.prf left on auto: it must pin the backend from
+  // the report — inserts hashed under whatever CATMARK_PRF says in a later
+  // process would be invisible to dispute-time detection.
+  Fixture f;
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 4000;
+  gen.domain_size = 100;
+  gen.seed = 91;
+  f.rel = GenerateKeyedCategorical(gen);
+  f.params.e = 30;
+  f.params.prf = PrfKind::kSipHash24;
+  f.wm = MakeWatermark(10, 91);
+  f.options.key_attr = "K";
+  f.options.target_attr = "A";
+  f.report = Embedder(f.keys, f.params).Embed(f.rel, f.options, f.wm).value();
+  ASSERT_EQ(f.report.prf, PrfKind::kSipHash24);
+
+  WatermarkParams auto_params = f.params;
+  auto_params.prf.reset();  // the later-process default
+  const IncrementalWatermarker inc(f.keys, auto_params, f.options, f.report,
+                                   f.wm);
+  // A relation of only incrementally-inserted tuples must detect under the
+  // embed-time backend (Detect uses f.params, which pins siphash24).
+  Relation fresh(f.rel.schema());
+  std::size_t fit = 0;
+  for (std::int64_t k = 5000000; fit < 200; ++k) {
+    if (inc.Insert(fresh, {Value(k), Value("V0001")}).value()) ++fit;
+  }
+  EXPECT_EQ(Detect(f, fresh).wm, f.wm);
+}
+
 TEST(IncrementalTest, InsertValidatesArity) {
   Fixture f = MakeFixture();
   const IncrementalWatermarker inc(f.keys, f.params, f.options, f.report,

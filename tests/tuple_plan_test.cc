@@ -1,0 +1,189 @@
+// The batched / per-dict-code-cached plan build: for every PRF backend and
+// thread count, the dict-code cache must be bit-identical to the uncached
+// per-row batch path, the per-row batch path must be bit-identical to a
+// one-value-at-a-time reference loop, and results must not depend on the
+// worker count.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/tuple_plan.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+#include "test_util.h"
+
+namespace catmark {
+namespace {
+
+constexpr PrfKind kBackends[] = {PrfKind::kKeyedHash, PrfKind::kHmacSha256,
+                                 PrfKind::kSipHash24};
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+// (K INT64 plain key, C STRING categorical) with repeated categorical keys,
+// NULL keys in both columns, and a dead dictionary entry — the shapes the
+// two plan-build paths must agree on.
+Relation MixedKeyRelation(std::size_t n) {
+  Schema schema = Schema::Create({{"K", ColumnType::kInt64, false},
+                                  {"C", ColumnType::kString, true},
+                                  {"A", ColumnType::kString, true}},
+                                 "")
+                      .value();
+  Relation rel(schema);
+  for (std::size_t i = 0; i < n; ++i) {
+    // ~47 distinct categorical keys; every 13th row has a NULL plain key,
+    // every 17th a NULL categorical key.
+    Value k = (i % 13 == 0) ? Value()
+                            : Value(static_cast<std::int64_t>(i * 977));
+    Value c = (i % 17 == 0) ? Value()
+                            : Value("cat-" + std::to_string((i * 31) % 47));
+    Value a = Value("v" + std::to_string(i % 5));
+    rel.AppendRowUnchecked({std::move(k), std::move(c), std::move(a)});
+  }
+  // Interned but referenced by no row: the cache must skip it.
+  rel.mutable_store().InternValue(1, Value("dead-entry"));
+  return rel;
+}
+
+void ExpectPlansEqual(const TuplePlan& a, const TuplePlan& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.fit, b.fit) << label;
+  EXPECT_EQ(a.h1, b.h1) << label;
+  EXPECT_EQ(a.payload_index, b.payload_index) << label;
+  EXPECT_EQ(a.fit_count, b.fit_count) << label;
+}
+
+TuplePlanOptions PlanOptions(PrfKind prf, std::size_t threads,
+                             bool use_dict_cache) {
+  TuplePlanOptions options;
+  options.payload_len = 64;
+  options.with_payload_index = true;
+  options.num_threads = threads;
+  options.prf = prf;
+  options.use_dict_cache = use_dict_cache;
+  return options;
+}
+
+// The cross-backend property: for a dictionary-encoded key column the
+// per-dict-code cache and the uncached per-row batch path must produce
+// byte-identical plans, for every backend x thread count. e is small so a
+// healthy share of rows is fit.
+TEST(TuplePlanTest, DictCodeCacheIsBitIdenticalToUncachedPerRowPath) {
+  const Relation rel = MixedKeyRelation(3000);
+  const WatermarkKeySet keys = testutil::TestKeys();
+  WatermarkParams params;
+  params.e = 5;
+  for (const PrfKind prf : kBackends) {
+    for (const std::size_t threads : kThreadCounts) {
+      const TuplePlan cached = BuildTuplePlan(
+          rel, 1, keys, params, PlanOptions(prf, threads, true));
+      const TuplePlan uncached = BuildTuplePlan(
+          rel, 1, keys, params, PlanOptions(prf, threads, false));
+      ExpectPlansEqual(cached, uncached,
+                       std::string(PrfKindName(prf)) + " threads=" +
+                           std::to_string(threads));
+      EXPECT_EQ(cached.shard_fit, uncached.shard_fit);
+      EXPECT_GT(cached.fit_count, 0u);
+    }
+  }
+}
+
+// Thread-count invariance of both paths (shard_fit differs by construction;
+// the per-row fields must not).
+TEST(TuplePlanTest, PlanIsThreadCountInvariant) {
+  const Relation rel = MixedKeyRelation(3000);
+  const WatermarkKeySet keys = testutil::TestKeys();
+  WatermarkParams params;
+  params.e = 5;
+  for (const PrfKind prf : kBackends) {
+    for (const std::size_t key_col : {std::size_t{0}, std::size_t{1}}) {
+      const TuplePlan reference =
+          BuildTuplePlan(rel, key_col, keys, params, PlanOptions(prf, 1, true));
+      for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        const TuplePlan plan = BuildTuplePlan(rel, key_col, keys, params,
+                                              PlanOptions(prf, threads, true));
+        ExpectPlansEqual(plan, reference,
+                         std::string(PrfKindName(prf)) + " col=" +
+                             std::to_string(key_col) + " threads=" +
+                             std::to_string(threads));
+      }
+    }
+  }
+}
+
+// The chunked batch path must match a one-value-at-a-time reference loop
+// through the same PRF — the batch arena and view bookkeeping add nothing.
+TEST(TuplePlanTest, BatchPathMatchesSingleShotReference) {
+  const Relation rel = MixedKeyRelation(1500);
+  const WatermarkKeySet keys = testutil::TestKeys();
+  WatermarkParams params;
+  params.e = 3;
+  for (const PrfKind prf_kind : kBackends) {
+    const std::unique_ptr<KeyedPrf> prf_k1 =
+        CreateKeyedPrf(prf_kind, keys.k1, params.hash_algo);
+    const std::unique_ptr<KeyedPrf> prf_k2 =
+        CreateKeyedPrf(prf_kind, keys.k2, params.hash_algo);
+    const TuplePlan plan =
+        BuildTuplePlan(rel, 0, keys, params, PlanOptions(prf_kind, 2, true));
+    HashScratch scratch;
+    std::size_t fit_count = 0;
+    for (std::size_t j = 0; j < rel.NumRows(); ++j) {
+      const Value& key = rel.Get(j, 0);
+      if (key.is_null()) {
+        EXPECT_EQ(plan.fit[j], 0) << j;
+        continue;
+      }
+      const std::uint64_t h1 = HashValue(*prf_k1, key, scratch);
+      if (h1 % params.e != 0) {
+        EXPECT_EQ(plan.fit[j], 0) << j;
+        continue;
+      }
+      ++fit_count;
+      ASSERT_EQ(plan.fit[j], 1) << j;
+      EXPECT_EQ(plan.h1[j], h1) << j;
+      EXPECT_EQ(plan.payload_index[j],
+                PayloadIndexFromHash(HashValue(*prf_k2, key, scratch), 64,
+                                     params.bit_index_mode))
+          << j;
+    }
+    EXPECT_EQ(plan.fit_count, fit_count);
+  }
+}
+
+// Different backends must select different tuple subsets (the channels are
+// genuinely distinct primitives, not renamings of one another).
+TEST(TuplePlanTest, BackendsSelectDifferentTuples) {
+  const Relation rel = MixedKeyRelation(3000);
+  const WatermarkKeySet keys = testutil::TestKeys();
+  WatermarkParams params;
+  params.e = 5;
+  const TuplePlan kh = BuildTuplePlan(
+      rel, 0, keys, params, PlanOptions(PrfKind::kKeyedHash, 1, true));
+  const TuplePlan sip = BuildTuplePlan(
+      rel, 0, keys, params, PlanOptions(PrfKind::kSipHash24, 1, true));
+  EXPECT_NE(kh.fit, sip.fit);
+}
+
+// shard_fit must tile the fit count exactly over the ShardBounds partition
+// on both paths (the sharded map-mode embed depends on it).
+TEST(TuplePlanTest, ShardFitSumsToFitCount) {
+  const Relation rel = MixedKeyRelation(2000);
+  const WatermarkKeySet keys = testutil::TestKeys();
+  WatermarkParams params;
+  params.e = 4;
+  for (const bool cached : {true, false}) {
+    const TuplePlan plan =
+        BuildTuplePlan(rel, 1, keys, params,
+                       PlanOptions(PrfKind::kSipHash24, 3, cached));
+    std::size_t sum = 0;
+    for (const std::size_t f : plan.shard_fit) sum += f;
+    EXPECT_EQ(sum, plan.fit_count);
+    EXPECT_EQ(plan.shard_fit.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace catmark

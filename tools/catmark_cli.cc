@@ -3,12 +3,17 @@
 //   catmark gen     --out data.csv --n 10000 [--items 500] [--sales]
 //   catmark embed   --in data.csv --out marked.csv --schema <spec>
 //                   --key <passphrase> --wm <bits> [--e 60]
+//                   [--prf keyed-hash|hmac-sha256|siphash24]
 //                   [--key-attr K] [--target-attr A] [--constraints file.cql]
 //                   [--certificate-out cert.txt]
 //   catmark detect  --in suspect.csv --schema <spec> --key <passphrase>
 //                   ( --certificate cert.txt
-//                   | --wm <bits> --payload-length <L> [--e 60]
+//                   | --wm <bits> --payload-length <L> [--e 60] [--prf <p>]
 //                     [--key-attr K] [--target-attr A] ) [--alpha 0.001]
+//
+// --prf selects the keyed-PRF backend (default: the CATMARK_PRF environment
+// variable, else the paper's keyed hash). Embed and detect must agree;
+// certificates record the backend, so --certificate detection needs no flag.
 //   catmark attack  --in marked.csv --out attacked.csv --schema <spec>
 //                   --type alter|subset|add|shuffle|remap
 //                   [--column A] [--fraction 0.3] [--seed 1]
@@ -70,6 +75,17 @@ class Flags {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "catmark: %s\n", message.c_str());
   return 1;
+}
+
+/// Applies --prf to `params`. Absent flag leaves params.prf on auto
+/// (CATMARK_PRF or the legacy keyed hash, validated at embed/detect time);
+/// an unknown name fails up front with the registered backend list.
+Status ApplyPrfFlag(const Flags& flags, WatermarkParams& params) {
+  if (!flags.Has("prf")) return Status::OK();
+  CATMARK_ASSIGN_OR_RETURN(const PrfKind prf,
+                           PrfKindFromName(flags.Get("prf")));
+  params.prf = prf;
+  return Status::OK();
 }
 
 // ------------------------------------------------------------ schema specs
@@ -165,6 +181,9 @@ int RunEmbed(const Flags& flags) {
 
   WatermarkParams params;
   params.e = flags.GetUint("e", 60);
+  if (const Status s = ApplyPrfFlag(flags, params); !s.ok()) {
+    return Fail(s.ToString());
+  }
   EmbedOptions options;
   options.key_attr = flags.Get("key-attr", "K");
   options.target_attr = flags.Get("target-attr", "A");
@@ -196,11 +215,12 @@ int RunEmbed(const Flags& flags) {
   std::printf(
       "embedded %zu-bit mark: %zu fit tuples, %zu altered (%.3f%% of data), "
       "%zu vetoed by constraints\n"
-      "detector inputs: --payload-length %zu --e %llu --wm-bits %zu\n",
+      "detector inputs: --payload-length %zu --e %llu --wm-bits %zu "
+      "--prf %s\n",
       wm.value().size(), report->fit_tuples, report->altered_tuples,
       100.0 * report->alteration_fraction, report->skipped_by_quality,
       report->payload_length, static_cast<unsigned long long>(params.e),
-      wm.value().size());
+      wm.value().size(), std::string(PrfKindName(report->prf)).c_str());
 
   // --certificate-out writes everything detection needs (plus the key
   // commitment) to one file; `detect --certificate` consumes it.
@@ -255,6 +275,9 @@ int RunDetect(const Flags& flags) {
 
   WatermarkParams params;
   params.e = flags.GetUint("e", 60);
+  if (const Status s = ApplyPrfFlag(flags, params); !s.ok()) {
+    return Fail(s.ToString());
+  }
   DetectOptions options;
   options.key_attr = flags.Get("key-attr", "K");
   options.target_attr = flags.Get("target-attr", "A");
