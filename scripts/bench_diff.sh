@@ -2,8 +2,9 @@
 # Diffs the embed and detect rows of two BENCH_throughput.json reports:
 #   scripts/bench_diff.sh <baseline.json> <current.json> [regression-pct]
 #
-# Prints a per-key comparison of the embed_* / detect_* throughput fields
-# (including the per-PRF-backend detect breakdown) and emits a GitHub
+# Prints a per-key comparison of the embed_* / detect_* / stream_*
+# throughput fields (including the per-PRF-backend detect breakdown and the
+# streaming-service batch × session grid) and emits a GitHub
 # warning annotation when a key regresses by more than `regression-pct`
 # (default 25%). Shared CI runners are noisy, so the diff is informational
 # — it never fails the job — but the annotation makes a throughput
@@ -49,6 +50,13 @@ keys = [
     "detect_prf_siphash24_serial_tps",
     "detect_prf_siphash24_parallel_tps",
     "detect_prf_fast_gain",
+    "stream_s1_b1_tps",
+    "stream_s1_b64_tps",
+    "stream_s1_b1024_tps",
+    "stream_s8_b1_tps",
+    "stream_s8_b64_tps",
+    "stream_s8_b1024_tps",
+    "stream_batch_gain",
 ]
 
 print(f"{'bench row':<36}{'baseline':>14}{'current':>14}{'delta':>10}")

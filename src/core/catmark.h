@@ -39,5 +39,7 @@
 #include "relation/ops.h"            // IWYU pragma: export
 #include "relation/query.h"          // IWYU pragma: export
 #include "relation/relation.h"       // IWYU pragma: export
+#include "service/service.h"         // IWYU pragma: export
+#include "service/session.h"         // IWYU pragma: export
 
 #endif  // CATMARK_CORE_CATMARK_H_

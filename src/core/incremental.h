@@ -1,70 +1,13 @@
 #ifndef CATMARK_CORE_INCREMENTAL_H_
 #define CATMARK_CORE_INCREMENTAL_H_
 
-#include <memory>
-#include <string>
+/// Compatibility shim: the incremental-update API (Section 4.3) was
+/// redesigned into the batched streaming subsystem under src/service/.
+/// IncrementalWatermarker lives there now as a thin wrapper over a
+/// StreamSession batch of one; include service/session.h (or
+/// service/service.h for the multi-session WatermarkService) directly in
+/// new code.
 
-#include "common/bitvec.h"
-#include "common/result.h"
-#include "core/embedder.h"
-#include "core/keys.h"
-#include "core/params.h"
-#include "relation/domain.h"
-#include "relation/relation.h"
-
-namespace catmark {
-
-/// Incremental updates (Section 4.3): "As updates occur to the data, the
-/// resulting tuples can be evaluated on the fly for 'fitness' and
-/// watermarked accordingly." This wraps the per-tuple embedding rule so a
-/// live feed can keep a marked relation consistent without re-running the
-/// full embedding pass.
-///
-/// The payload length and the keyed-PRF backend are pinned at construction
-/// (they must match the original embedding; see WatermarkParams::
-/// payload_length and EmbedReport::prf), so detection over the grown
-/// relation keeps working whatever the environment says later.
-class IncrementalWatermarker {
- public:
-  /// `report` is the original embedding's report — it carries the payload
-  /// length, the attribute domain and the PRF backend the updates must
-  /// agree on. An explicit `params.prf` wins; on auto (nullopt) the
-  /// backend is taken from the report, *not* re-resolved from CATMARK_PRF
-  /// at insert time.
-  IncrementalWatermarker(WatermarkKeySet keys, WatermarkParams params,
-                         const EmbedOptions& options, const EmbedReport& report,
-                         BitVector wm);
-
-  /// Watermarks `row` (if fit) and appends it to `rel`. Returns true when
-  /// the tuple was fit (and therefore carries a mark bit).
-  Result<bool> Insert(Relation& rel, Row row) const;
-
-  /// Re-evaluates an updated tuple in place: when the key attribute of row
-  /// `row_index` is fit, re-applies the embedding rule to the target
-  /// attribute (an UPDATE that touched either attribute may have destroyed
-  /// the bit). Returns true when the tuple is fit.
-  Result<bool> Refresh(Relation& rel, std::size_t row_index) const;
-
-  const CategoricalDomain& domain() const { return domain_; }
-  std::size_t payload_length() const { return payload_length_; }
-
- private:
-  /// Computes the watermarked value for `key_value`, or nullopt when unfit.
-  Result<Value> MarkedValueFor(const Value& key_value, bool& fit) const;
-
-  WatermarkKeySet keys_;
-  WatermarkParams params_;
-  std::string key_attr_;
-  std::string target_attr_;
-  CategoricalDomain domain_;
-  std::size_t payload_length_;
-  BitVector wm_data_;
-  // Built once here: inserts must not pay the backend's key schedule (for
-  // siphash24, a SHA-256 key derivation) per tuple.
-  std::unique_ptr<KeyedPrf> prf_k1_;
-  std::unique_ptr<KeyedPrf> prf_k2_;
-};
-
-}  // namespace catmark
+#include "service/session.h"  // IWYU pragma: export
 
 #endif  // CATMARK_CORE_INCREMENTAL_H_

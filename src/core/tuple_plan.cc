@@ -10,61 +10,18 @@
 
 namespace catmark {
 
-namespace {
-
-// Values batched into one Hash64Column call: large enough to amortize the
-// virtual dispatch and key-schedule reads, small enough that the serialized
-// arena and hash outputs stay cache-resident per worker.
-constexpr std::size_t kHashBatch = 1024;
-
-// Per-worker batch builder: values serialize back-to-back into one reused
-// arena; the string_view probes are materialized only once the chunk is
-// complete (the arena may reallocate while it grows).
-struct HashBatch {
-  std::vector<std::uint8_t> arena;
-  std::vector<std::size_t> ends;  // arena offset after each value
-  std::vector<std::size_t> ids;   // row index / dict code per value
-  std::vector<std::string_view> views;
-  std::vector<std::uint64_t> h1;
-
-  HashBatch() {
-    arena.reserve(kHashBatch * 24);
-    ends.reserve(kHashBatch);
-    ids.reserve(kHashBatch);
-    views.reserve(kHashBatch);
-    h1.reserve(kHashBatch);
+void KeyHashBatch::Hash(const KeyedPrf& prf) {
+  views.resize(ends.size());
+  h1.resize(ends.size());
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < ends.size(); ++i) {
+    views[i] = std::string_view(
+        reinterpret_cast<const char*>(arena.data()) + begin,
+        ends[i] - begin);
+    begin = ends[i];
   }
-
-  void Clear() {
-    arena.clear();
-    ends.clear();
-    ids.clear();
-  }
-
-  std::size_t size() const { return ends.size(); }
-
-  void Add(const Value& v, std::size_t id) {
-    v.SerializeForHash(arena);
-    ends.push_back(arena.size());
-    ids.push_back(id);
-  }
-
-  // One batched PRF call over the whole chunk.
-  void Hash(const KeyedPrf& prf) {
-    views.resize(ends.size());
-    h1.resize(ends.size());
-    std::size_t begin = 0;
-    for (std::size_t i = 0; i < ends.size(); ++i) {
-      views[i] = std::string_view(
-          reinterpret_cast<const char*>(arena.data()) + begin,
-          ends[i] - begin);
-      begin = ends[i];
-    }
-    prf.Hash64Column(views, std::span<std::uint64_t>(h1.data(), h1.size()));
-  }
-};
-
-}  // namespace
+  prf.Hash64Column(views, std::span<std::uint64_t>(h1.data(), h1.size()));
+}
 
 TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
                          const WatermarkKeySet& keys,
@@ -110,10 +67,10 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
     ParallelFor(
         dict.size(), EffectiveThreadCount(options.num_threads, dict.size()),
         [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
-          HashBatch batch;
+          KeyHashBatch batch;
           for (std::size_t code = begin; code < end;) {
             batch.Clear();
-            for (; code < end && batch.size() < kHashBatch; ++code) {
+            for (; code < end && batch.size() < kKeyHashBatch; ++code) {
               // Dead entries (live count 0) have no referencing row.
               if (live[code] == 0) continue;
               batch.Add(dict[code], code);
@@ -164,11 +121,11 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
   std::vector<std::size_t>& shard_fit = plan.shard_fit;
   ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
                               std::size_t end) {
-    HashBatch batch;
+    KeyHashBatch batch;
     std::size_t local_fit = 0;
     for (std::size_t j = begin; j < end;) {
       batch.Clear();
-      for (; j < end && batch.size() < kHashBatch; ++j) {
+      for (; j < end && batch.size() < kKeyHashBatch; ++j) {
         const Value& key_value = key_reader[j];
         if (key_value.is_null()) continue;
         batch.Add(key_value, j);

@@ -2,6 +2,8 @@
 #define CATMARK_CORE_TUPLE_PLAN_H_
 
 #include <cstdint>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/keys.h"
@@ -10,6 +12,61 @@
 #include "relation/relation.h"
 
 namespace catmark {
+
+/// Number of values batched into one KeyedPrf::Hash64Column call by the
+/// plan build and the streaming insert path: large enough to amortize the
+/// virtual dispatch and key-schedule reads, small enough that the serialized
+/// arena and hash outputs stay cache-resident per worker.
+inline constexpr std::size_t kKeyHashBatch = 1024;
+
+/// Reusable chunk builder for batched keyed hashing: values serialize
+/// back-to-back into one grown-once arena, and the whole chunk goes through
+/// a single Hash64Column call. The string_view probes are materialized only
+/// once the chunk is complete (the arena may reallocate while it grows).
+/// Shared by the tuple-plan precompute and the streaming insert path so the
+/// two batch channels cannot drift apart.
+struct KeyHashBatch {
+  std::vector<std::uint8_t> arena;
+  std::vector<std::size_t> ends;  // arena offset after each value
+  std::vector<std::size_t> ids;   // row index / dict code per value
+  std::vector<std::string_view> views;
+  std::vector<std::uint64_t> h1;
+
+  KeyHashBatch() {
+    arena.reserve(kKeyHashBatch * 24);
+    ends.reserve(kKeyHashBatch);
+    ids.reserve(kKeyHashBatch);
+    views.reserve(kKeyHashBatch);
+    h1.reserve(kKeyHashBatch);
+  }
+
+  void Clear() {
+    arena.clear();
+    ends.clear();
+    ids.clear();
+  }
+
+  std::size_t size() const { return ends.size(); }
+  bool full() const { return ends.size() >= kKeyHashBatch; }
+
+  void Add(const Value& v, std::size_t id) {
+    v.SerializeForHash(arena);
+    ends.push_back(arena.size());
+    ids.push_back(id);
+  }
+
+  /// Adds an already-serialized value (the streaming path probes its verdict
+  /// cache with the serialized bytes first, so they are already at hand).
+  void AddSerialized(std::span<const std::uint8_t> bytes, std::size_t id) {
+    arena.insert(arena.end(), bytes.begin(), bytes.end());
+    ends.push_back(arena.size());
+    ids.push_back(id);
+  }
+
+  /// One batched PRF call over the whole chunk; results land in h1[i] /
+  /// views[i] parallel to ids[i].
+  void Hash(const KeyedPrf& prf);
+};
 
 /// Per-tuple precompute shared by the embed and detect hot paths, built in
 /// one thread-parallel pass over the key column (structure-of-arrays so the

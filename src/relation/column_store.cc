@@ -1,5 +1,6 @@
 #include "relation/column_store.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -34,7 +35,12 @@ void ColumnStore::Reserve(std::size_t n) {
 }
 
 std::int32_t ColumnStore::Intern(DictColumn& c, const Value& v) {
-  const std::string_view key = v.SerializeKeyInto(scratch_);
+  return InternSerialized(c, v.SerializeKeyInto(scratch_), v);
+}
+
+std::int32_t ColumnStore::InternSerialized(DictColumn& c,
+                                           std::string_view key,
+                                           const Value& v) {
   const auto it = c.code_of.find(key);
   if (it != c.code_of.end()) return it->second;
   CATMARK_CHECK_LT(c.dict.size(),
@@ -63,6 +69,54 @@ void ColumnStore::AppendRow(Row row) {
     }
   }
   ++num_rows_;
+}
+
+void ColumnStore::AppendRows(std::span<Row> rows) {
+  for (const Row& row : rows) CATMARK_CHECK_EQ(row.size(), columns_.size());
+  // Grow geometrically when a batch overflows capacity: reserve(size + n)
+  // would set capacity *exactly*, so a steady stream of batches would
+  // reallocate (and copy) every column on every batch — O(N^2) growth.
+  const auto grow = [n = rows.size()](auto& vec) {
+    if (vec.size() + n > vec.capacity()) {
+      vec.reserve(std::max(vec.size() + n, vec.capacity() * 2));
+    }
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (auto* d = std::get_if<DictColumn>(&columns_[c])) {
+      grow(d->codes);
+      // Streamed batches tend to carry runs of the same value, so memoize
+      // the last interned key's canonical bytes and skip the dictionary
+      // probe while the run lasts. Comparing serialized bytes (not Value
+      // equality) keeps code assignment byte-identical to the row-at-a-time
+      // path: e.g. -0.0 == 0.0 as doubles but they serialize differently.
+      std::vector<std::uint8_t> last_key;
+      std::int32_t last_code = kNullCode;
+      for (Row& row : rows) {
+        if (row[c].is_null()) {
+          d->codes.push_back(kNullCode);
+          continue;
+        }
+        const std::string_view key = row[c].SerializeKeyInto(scratch_);
+        const std::string_view last(
+            reinterpret_cast<const char*>(last_key.data()), last_key.size());
+        std::int32_t code;
+        if (!last.empty() && key == last) {
+          code = last_code;
+        } else {
+          code = InternSerialized(*d, key, row[c]);
+          last_key.assign(key.begin(), key.end());
+          last_code = code;
+        }
+        d->codes.push_back(code);
+        ++d->live[static_cast<std::size_t>(code)];
+      }
+    } else {
+      auto& values = std::get<PlainColumn>(columns_[c]).values;
+      grow(values);
+      for (Row& row : rows) values.push_back(std::move(row[c]));
+    }
+  }
+  num_rows_ += rows.size();
 }
 
 void ColumnStore::AppendRowsFrom(const ColumnStore& src,

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -60,6 +61,14 @@ class ColumnStore {
 
   /// Appends a tuple; `row.size()` must equal num_columns() (checked).
   void AppendRow(Row row);
+
+  /// Bulk-appends `rows` (each of arity num_columns(), checked in one
+  /// up-front sweep), consuming them. Column-major: each column's cells
+  /// append in row order, so dictionary code assignment is identical to
+  /// issuing the same AppendRow calls one at a time — only the per-row
+  /// variant dispatch and map-growth churn are amortized away. The
+  /// streaming insert path batches through this.
+  void AppendRows(std::span<Row> rows);
 
   /// Bulk-appends rows `indices` of `src`, which must have the same column
   /// layout (checked) and not be this store. Dictionary columns intern each
@@ -136,6 +145,11 @@ class ColumnStore {
   const DictColumn& dict_column(std::size_t col) const;
 
   std::int32_t Intern(DictColumn& c, const Value& v);
+  /// Intern with the canonical key bytes already serialized (`key` must be
+  /// `v.SerializeKeyInto(...)` output) — the batch append path serializes
+  /// once per row and reuses the bytes for its run-of-equal-values memo.
+  std::int32_t InternSerialized(DictColumn& c, std::string_view key,
+                                const Value& v);
 
   std::vector<std::variant<DictColumn, PlainColumn>> columns_;
   std::size_t num_rows_ = 0;

@@ -23,6 +23,25 @@ Status Relation::AppendRow(Row row) {
   return Status::OK();
 }
 
+Status Relation::AppendRows(std::span<Row> rows) {
+  for (const Row& row : rows) {
+    if (row.size() != schema_.num_columns()) {
+      return Status::InvalidArgument(
+          "row arity " + std::to_string(row.size()) + " != schema arity " +
+          std::to_string(schema_.num_columns()));
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (!row[i].is_null() && !row[i].MatchesType(schema_.column(i).type)) {
+        return Status::InvalidArgument("value for column '" +
+                                       schema_.column(i).name +
+                                       "' has wrong type");
+      }
+    }
+  }
+  store_.AppendRows(rows);
+  return Status::OK();
+}
+
 Status Relation::AppendRowsFrom(const Relation& other,
                                 const std::vector<std::size_t>& indices) {
   if (!(schema_ == other.schema_)) {

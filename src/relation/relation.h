@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -37,6 +38,15 @@ class Relation {
   /// Appends without type validation — generator/attack hot path; the caller
   /// guarantees schema conformance (arity is still checked).
   void AppendRowUnchecked(Row row) { store_.AppendRow(std::move(row)); }
+
+  /// Bulk-appends `rows` (consumed) after validating the whole batch —
+  /// atomic: on any arity/type error nothing is appended.
+  Status AppendRows(std::span<Row> rows);
+
+  /// Bulk form of AppendRowUnchecked: one arity sweep, then column-major
+  /// appends. The streaming service batches through this after its own
+  /// batch validation.
+  void AppendRowsUnchecked(std::span<Row> rows) { store_.AppendRows(rows); }
 
   void Reserve(std::size_t n) { store_.Reserve(n); }
 

@@ -1,0 +1,89 @@
+#ifndef CATMARK_SERVICE_SERVICE_H_
+#define CATMARK_SERVICE_SERVICE_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/relation.h"
+#include "service/session.h"
+
+namespace catmark {
+
+struct ServiceOptions {
+  /// Worker threads for ExecuteBatches (0 = auto: CATMARK_THREADS when set,
+  /// otherwise the hardware thread count). Parallelism is across *sessions*;
+  /// one session's batches always run in order on one worker.
+  std::size_t num_threads = 0;
+};
+
+/// A multi-session streaming watermark service: many concurrent
+/// StreamSessions (distinct keys, marks and relations — think one per
+/// customer dataset) behind small integer handles, with a batch executor
+/// that fans independent sessions out over the common/parallel pool.
+///
+/// The service owns each session's relation; Close hands it back. Results
+/// are bit-identical at every thread count: batches for the same session
+/// run in submission order on a single worker, and distinct sessions share
+/// no mutable state.
+///
+/// Open/Close and ExecuteBatches are *not* internally synchronized against
+/// each other — drive the service from one thread (it parallelizes inside
+/// ExecuteBatches), like every other mutation API in this library.
+class WatermarkService {
+ public:
+  explicit WatermarkService(ServiceOptions options = {});
+
+  /// Opens a session over `spec`, seeded with `relation` (may be empty —
+  /// a fresh feed). Returns the session id.
+  Result<std::size_t> Open(SessionSpec spec, Relation relation);
+
+  /// Live accessors; the id must name an open session (checked).
+  StreamSession& session(std::size_t id);
+  const Relation& relation(std::size_t id) const;
+
+  /// Inserts one batch into session `id`'s relation.
+  Result<BatchReport> InsertBatch(std::size_t id, std::span<Row> rows);
+
+  /// Re-evaluates one updated tuple of session `id`'s relation.
+  Result<bool> Refresh(std::size_t id, std::size_t row_index);
+
+  /// One unit of work for the batch executor. `rows` is consumed.
+  struct SessionBatch {
+    std::size_t session_id = 0;
+    std::vector<Row> rows;
+  };
+
+  /// Executes a mixed stream of batches, parallelizing across sessions:
+  /// batches are grouped by session id (submission order preserved within a
+  /// session) and distinct sessions run concurrently. results[i] corresponds
+  /// to batches[i]; a bad session id fails that batch only.
+  std::vector<Result<BatchReport>> ExecuteBatches(
+      std::span<SessionBatch> batches);
+
+  /// Closes session `id` and returns its relation.
+  Result<Relation> Close(std::size_t id);
+
+  /// Number of currently open sessions.
+  std::size_t num_sessions() const { return open_count_; }
+
+ private:
+  struct Entry {
+    StreamSession session;
+    Relation relation;
+  };
+
+  Entry* Find(std::size_t id);
+
+  ServiceOptions options_;
+  // Slot per ever-opened session; Close nulls the slot (ids are not reused,
+  // so a stale handle fails loudly instead of hitting a stranger's session).
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::size_t open_count_ = 0;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_SERVICE_SERVICE_H_

@@ -18,14 +18,27 @@
 //                   --type alter|subset|add|shuffle|remap
 //                   [--column A] [--fraction 0.3] [--seed 1]
 //   catmark bandwidth --in data.csv --schema <spec> [--e 60] [--q 0.01]
+//   catmark stream  --in rows.csv|- --schema <spec> --key <passphrase>
+//                   --certificate cert.txt --out grown.csv
+//                   [--base marked.csv] [--batch 1024]
+//
+// `stream` grows a marked relation with new rows, marking fit inserts on
+// the fly: rows come from --in (CSV, `-` for stdin), are pushed through a
+// StreamSession in --batch-sized InsertBatch calls against --base (or an
+// empty relation), and the grown relation lands in --out. The certificate
+// pins every parameter the session needs — keys are verified against its
+// commitment, so the wrong passphrase fails before any row is inserted.
 //
 // <spec> declares the CSV columns: comma-separated `name:type[:flag]`,
 // type in {int,double,str}, flag in {pk,cat}. Example:
 //   --schema "Visit_Nbr:int:pk,Item_Nbr:int:cat,Dept_Desc:str:cat"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -360,10 +373,84 @@ int RunBandwidth(const Flags& flags) {
   return 0;
 }
 
+int RunStream(const Flags& flags) {
+  if (!flags.Has("certificate")) return Fail("--certificate is required");
+  std::ifstream cf(flags.Get("certificate"));
+  if (!cf) return Fail("cannot read " + flags.Get("certificate"));
+  std::ostringstream cs;
+  cs << cf.rdbuf();
+  Result<WatermarkCertificate> cert =
+      WatermarkCertificate::Deserialize(cs.str());
+  if (!cert.ok()) return Fail(cert.status().ToString());
+
+  const std::string key = flags.Get("key");
+  if (key.empty()) return Fail("--key is required");
+  Result<SessionSpec> spec = SessionSpec::FromCertificate(
+      cert.value(), WatermarkKeySet::FromPassphrase(key));
+  if (!spec.ok()) return Fail(spec.status().ToString());
+
+  Result<Schema> schema = ParseSchemaSpec(flags.Get("schema"));
+  if (!schema.ok()) return Fail(schema.status().ToString());
+
+  // New rows: a CSV file, or stdin when --in is `-`.
+  const std::string in = flags.Get("in");
+  if (in.empty()) return Fail("--in is required (path or - for stdin)");
+  Result<Relation> input = [&]() -> Result<Relation> {
+    if (in == "-") {
+      std::ostringstream ss;
+      ss << std::cin.rdbuf();
+      return ReadCsvString(ss.str(), schema.value());
+    }
+    return ReadCsvFile(in, schema.value());
+  }();
+  if (!input.ok()) return Fail(input.status().ToString());
+
+  // The relation to grow: --base when given, else empty under the schema.
+  Relation rel(schema.value());
+  if (flags.Has("base")) {
+    Result<Relation> base = ReadCsvFile(flags.Get("base"), schema.value());
+    if (!base.ok()) return Fail(base.status().ToString());
+    rel = std::move(base).value();
+  }
+
+  Result<StreamSession> session =
+      StreamSession::Create(std::move(spec).value());
+  if (!session.ok()) return Fail(session.status().ToString());
+
+  const std::size_t batch =
+      std::max<std::size_t>(1, flags.GetUint("batch", 1024));
+  std::vector<Row> rows;
+  rows.reserve(input.value().NumRows());
+  for (std::size_t i = 0; i < input.value().NumRows(); ++i) {
+    rows.push_back(input.value().row(i));
+  }
+  std::size_t fit = 0, altered = 0, hashed = 0, batches = 0;
+  for (std::size_t at = 0; at < rows.size(); ++batches) {
+    const std::size_t len = std::min(rows.size() - at, batch);
+    Result<BatchReport> report =
+        session->InsertBatch(rel, std::span<Row>(&rows[at], len));
+    if (!report.ok()) return Fail(report.status().ToString());
+    fit += report->fit_rows;
+    altered += report->altered_rows;
+    hashed += report->hashed_keys;
+    at += len;
+  }
+  if (const Status s = SaveCsv(rel, flags); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf(
+      "streamed %zu rows in %zu batches (<= %zu rows each): %zu fit, "
+      "%zu altered, %zu distinct keys hashed\nrelation now %zu tuples, "
+      "wrote %s\n",
+      rows.size(), batches, batch, fit, altered, hashed, rel.NumRows(),
+      flags.Get("out").c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: catmark <gen|embed|detect|attack|bandwidth> [--flags]\n"
+      "usage: catmark <gen|embed|detect|attack|bandwidth|stream> [--flags]\n"
       "see the header of tools/catmark_cli.cc for full flag reference\n");
   return 1;
 }
@@ -377,6 +464,7 @@ int Main(int argc, char** argv) {
   if (command == "detect") return RunDetect(flags);
   if (command == "attack") return RunAttack(flags);
   if (command == "bandwidth") return RunBandwidth(flags);
+  if (command == "stream") return RunStream(flags);
   return Usage();
 }
 
