@@ -33,6 +33,8 @@
 #include "ecc/code.h"
 #include "exp/harness.h"
 #include "gen/sales_gen.h"
+#include "relation/catm_io.h"
+#include "relation/csv.h"
 #include "relation/domain.h"
 #include "relation/value_index_column.h"
 #include "service/service.h"
@@ -159,6 +161,13 @@ int Run(const ExperimentConfig& config) {
     }
   }
   embed.speedup = embed.parallel_tps / embed.serial_tps;
+
+  if (!config.dump_relation.empty()) {
+    const Status saved = SaveRelation(marked, config.dump_relation);
+    CATMARK_CHECK(saved.ok()) << saved.ToString();
+    std::printf("dumped marked relation: %s\n",
+                config.dump_relation.c_str());
+  }
 
   // Figure 1(b) map-mode embed: exercises the prefix-sum map-index
   // assignment and per-shard segment splicing (the guard is off here — map
@@ -467,6 +476,105 @@ int Run(const ExperimentConfig& config) {
                                    stream_s1_tps[0]
                              : 0.0;
 
+  // On-disk format rows: loading the marked relation and the full
+  // load -> detect path, CSV versus .catm binary columnar. Pinned to the
+  // siphash24 backend so fitness hashing does not mask the ingest story
+  // (detect itself is identical between the rows — only the load differs).
+  // Content and detection verdicts are checked identical across formats
+  // inline, so a loader that is fast but wrong fails the bench.
+  WatermarkParams format_params = parallel_params;
+  format_params.prf = PrfKind::kSipHash24;
+  Relation format_marked = original;
+  Result<EmbedReport> format_embed =
+      Embedder(keys, format_params).Embed(format_marked, embed_options, wm);
+  CATMARK_CHECK(format_embed.ok()) << format_embed.status().ToString();
+  DetectOptions format_options = detect_options;
+  format_options.payload_length = format_embed.value().payload_length;
+  format_options.domain = format_embed.value().domain;
+
+  const char* tmpdir_env = std::getenv("TMPDIR");
+  const std::string tmpdir =
+      (tmpdir_env != nullptr && *tmpdir_env != '\0') ? tmpdir_env : "/tmp";
+  const std::string csv_path = tmpdir + "/catmark_bench_rel.csv";
+  const std::string catm_path = tmpdir + "/catmark_bench_rel.catm";
+  {
+    const Status s_csv = SaveRelation(format_marked, csv_path);
+    CATMARK_CHECK(s_csv.ok()) << s_csv.ToString();
+    const Status s_catm = SaveRelation(format_marked, catm_path);
+    CATMARK_CHECK(s_catm.ok()) << s_catm.ToString();
+  }
+  const std::size_t csv_bytes = FileBytes::Open(csv_path).value().view().size();
+  const std::size_t catm_bytes =
+      FileBytes::Open(catm_path).value().view().size();
+
+  double load_csv_tps = 0.0;
+  double load_csv_parallel_tps = 0.0;
+  double load_catm_tps = 0.0;
+  double e2e_csv_tps = 0.0;
+  double e2e_catm_tps = 0.0;
+  DetectionResult format_detection;
+  const Schema& format_schema = format_marked.schema();
+  for (std::size_t pass = 0; pass < config.passes; ++pass) {
+    {
+      const auto start = Clock::now();
+      Result<Relation> r = ReadCsvFile(csv_path, format_schema);
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      CATMARK_CHECK(r.value().SameContent(format_marked))
+          << "CSV round trip lost data";
+      if (n / secs > load_csv_tps) load_csv_tps = n / secs;
+    }
+    {
+      const auto start = Clock::now();
+      Result<Relation> r = ReadCsvFileParallel(csv_path, format_schema);
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      CATMARK_CHECK(r.value().SameContent(format_marked))
+          << "parallel CSV round trip lost data";
+      if (n / secs > load_csv_parallel_tps) load_csv_parallel_tps = n / secs;
+    }
+    {
+      const auto start = Clock::now();
+      Result<Relation> r = ReadCatmFile(catm_path, format_schema);
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      CATMARK_CHECK(r.value().SameContent(format_marked))
+          << ".catm round trip lost data";
+      if (n / secs > load_catm_tps) load_catm_tps = n / secs;
+    }
+    {
+      const auto start = Clock::now();
+      Result<Relation> r = LoadRelation(csv_path, format_schema);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      Result<DetectionResult> d = Detector(keys, format_params)
+                                      .Detect(r.value(), format_options,
+                                              wm.size());
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(d.ok()) << d.status().ToString();
+      format_detection = std::move(d).value();
+      if (n / secs > e2e_csv_tps) e2e_csv_tps = n / secs;
+    }
+    {
+      const auto start = Clock::now();
+      Result<Relation> r = LoadRelation(catm_path, format_schema);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      Result<DetectionResult> d = Detector(keys, format_params)
+                                      .Detect(r.value(), format_options,
+                                              wm.size());
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(d.ok()) << d.status().ToString();
+      CATMARK_CHECK(d.value().wm == format_detection.wm)
+          << ".catm detect decoded a different mark than CSV";
+      CATMARK_CHECK_EQ(d.value().usable_votes, format_detection.usable_votes)
+          << ".catm detect tallied different votes than CSV";
+      if (n / secs > e2e_catm_tps) e2e_catm_tps = n / secs;
+    }
+  }
+  const double e2e_format_gain =
+      e2e_csv_tps > 0.0 ? e2e_catm_tps / e2e_csv_tps : 0.0;
+  std::remove(csv_path.c_str());
+  std::remove(catm_path.c_str());
+
   PrintTableTitle("embed/detect pipeline throughput (tuples/sec, best of "
                   "passes)");
   PrintTableHeader({"stage", "serial", "parallel", "speedup", "threads"});
@@ -494,6 +602,22 @@ int Run(const ExperimentConfig& config) {
   PrintTableRow(
       {"plan/index (ms)", FormatDouble(index_ms, 3), "-", "-", "1"});
 
+  PrintTableTitle("on-disk format: load and load->detect throughput "
+                  "(tuples/sec, best of passes; siphash24 PRF)");
+  PrintTableHeader({"stage", "csv", "catm", "gain", "bytes"});
+  PrintTableRow({"load(serial csv)", FormatDouble(load_csv_tps, 0), "-", "-",
+                 std::to_string(csv_bytes)});
+  PrintTableRow({"load", FormatDouble(load_csv_parallel_tps, 0),
+                 FormatDouble(load_catm_tps, 0),
+                 FormatDouble(load_csv_parallel_tps > 0.0
+                                  ? load_catm_tps / load_csv_parallel_tps
+                                  : 0.0,
+                              2),
+                 std::to_string(catm_bytes)});
+  PrintTableRow({"load->detect", FormatDouble(e2e_csv_tps, 0),
+                 FormatDouble(e2e_catm_tps, 0),
+                 FormatDouble(e2e_format_gain, 2), "-"});
+
   PrintTableTitle("streaming service sustained inserts/sec (best of passes; "
                   "batch=1 is the legacy row-at-a-time path)");
   PrintTableHeader({"batch", "1 session", "8 sessions", "", ""});
@@ -511,7 +635,7 @@ int Run(const ExperimentConfig& config) {
       std::fprintf(stderr, "bench_throughput: cannot write %s\n", json_path);
       return 1;
     }
-    char buf[4096];
+    char buf[8192];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
@@ -538,6 +662,14 @@ int Run(const ExperimentConfig& config) {
         "  \"detect_prf_siphash24_parallel_tps\": %.0f,\n"
         "  \"detect_prf_fast_gain\": %.3f,\n"
         "  \"index_build_ms\": %.4f,\n"
+        "  \"load_csv_tps\": %.0f,\n"
+        "  \"load_csv_parallel_tps\": %.0f,\n"
+        "  \"load_catm_tps\": %.0f,\n"
+        "  \"e2e_csv_tps\": %.0f,\n"
+        "  \"e2e_catm_tps\": %.0f,\n"
+        "  \"e2e_format_gain\": %.3f,\n"
+        "  \"csv_bytes\": %zu,\n"
+        "  \"catm_bytes\": %zu,\n"
         "  \"stream_n\": %zu,\n"
         "  \"stream_s1_b1_tps\": %.0f,\n"
         "  \"stream_s1_b64_tps\": %.0f,\n"
@@ -554,7 +686,9 @@ int Run(const ExperimentConfig& config) {
         detect.parallel_tps, detect.speedup, prf_detect[0].serial_tps,
         prf_detect[0].parallel_tps, prf_detect[1].serial_tps,
         prf_detect[1].parallel_tps, prf_detect[2].serial_tps,
-        prf_detect[2].parallel_tps, prf_fast_gain, index_ms, stream_n,
+        prf_detect[2].parallel_tps, prf_fast_gain, index_ms, load_csv_tps,
+        load_csv_parallel_tps, load_catm_tps, e2e_csv_tps, e2e_catm_tps,
+        e2e_format_gain, csv_bytes, catm_bytes, stream_n,
         stream_s1_tps[0], stream_s1_tps[1], stream_s1_tps[2],
         stream_s8_tps[0], stream_s8_tps[1], stream_s8_tps[2],
         stream_batch_gain);

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Diffs the embed and detect rows of two BENCH_throughput.json reports:
+# Diffs the numeric rows of two BENCH_throughput.json reports:
 #   scripts/bench_diff.sh <baseline.json> <current.json> [regression-pct]
 #
-# Prints a per-key comparison of the embed_* / detect_* / stream_*
-# throughput fields (including the per-PRF-backend detect breakdown and the
-# streaming-service batch × session grid) and emits a GitHub
-# warning annotation when a key regresses by more than `regression-pct`
-# (default 25%). Shared CI runners are noisy, so the diff is informational
-# — it never fails the job — but the annotation makes a throughput
-# regression visible on the PR. A missing baseline (first run, expired
-# artifact) is skipped silently.
+# Compares every numeric key present in either report (the union, in a
+# preferred pipeline order: embed, detect, PRF breakdown, load/e2e format
+# rows, streaming grid — unknown keys trail alphabetically), so newly added
+# rows such as load_catm_tps / e2e_format_gain are picked up without
+# touching this script. Emits a GitHub warning annotation when a key
+# regresses by more than `regression-pct` (default 25%), and another when a
+# row present in the baseline is missing from the current report — a
+# silently dropped bench row is a coverage regression, not noise. Shared CI
+# runners are noisy, so the diff is informational — it never fails the job.
+# A missing baseline (first run, expired artifact) is skipped silently.
 set -euo pipefail
 
 baseline=${1:?usage: bench_diff.sh <baseline.json> <current.json> [pct]}
@@ -35,38 +37,37 @@ with open(baseline_path) as f:
 with open(current_path) as f:
     current = json.load(f)
 
-keys = [
-    "embed_serial_tps",
-    "embed_parallel_tps",
-    "embed_speedup",
-    "embed_map_serial_tps",
-    "embed_map_parallel_tps",
-    "embed_map_speedup",
-    "detect_serial_tps",
-    "detect_parallel_tps",
-    "detect_speedup",
-    "detect_prf_keyed_hash_serial_tps",
-    "detect_prf_hmac_sha256_serial_tps",
-    "detect_prf_siphash24_serial_tps",
-    "detect_prf_siphash24_parallel_tps",
-    "detect_prf_fast_gain",
-    "stream_s1_b1_tps",
-    "stream_s1_b64_tps",
-    "stream_s1_b1024_tps",
-    "stream_s8_b1_tps",
-    "stream_s8_b64_tps",
-    "stream_s8_b1024_tps",
-    "stream_batch_gain",
-]
+# Configuration fields — identity, not performance; excluded from the diff.
+CONFIG_KEYS = {"bench", "n", "domain", "passes", "threads", "stream_n"}
+
+def numeric_keys(report):
+    return {k for k, v in report.items()
+            if k not in CONFIG_KEYS and isinstance(v, (int, float))
+            and not isinstance(v, bool)}
+
+union = numeric_keys(baseline) | numeric_keys(current)
+
+# Preferred ordering groups rows by pipeline stage; anything the prefixes
+# don't cover (future rows) trails alphabetically rather than vanishing.
+PREFIX_ORDER = ["embed_map_", "embed_", "detect_prf_", "detect_",
+                "index_", "load_", "e2e_", "csv_", "catm_", "stream_"]
+
+def sort_key(key):
+    for rank, prefix in enumerate(PREFIX_ORDER):
+        if key.startswith(prefix):
+            return (rank, key)
+    return (len(PREFIX_ORDER), key)
 
 print(f"{'bench row':<36}{'baseline':>14}{'current':>14}{'delta':>10}")
-for key in keys:
+for key in sorted(union, key=sort_key):
     old, new = baseline.get(key), current.get(key)
     if old is None or new is None:
-        # Baselines from before the sharded-embed / PRF-breakdown rows lack
-        # the newer keys.
         print(f"{key:<36}{'-' if old is None else old:>14}"
               f"{'-' if new is None else new:>14}{'n/a':>10}")
+        if new is None:
+            print(f"::warning title=bench row dropped::{key} present in the "
+                  f"baseline report but missing from this run's — a bench "
+                  f"row was removed or the bench is truncating output")
         continue
     delta = 0.0 if old == 0 else (new - old) / old * 100.0
     print(f"{key:<36}{old:>14}{new:>14}{delta:>+9.1f}%")

@@ -20,6 +20,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ConstraintViolation";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -18,6 +18,7 @@ enum class StatusCode {
   kFailedPrecondition,   ///< Object state does not permit the operation.
   kConstraintViolation,  ///< A data-quality (usability) constraint was hit.
   kIoError,              ///< Filesystem / parsing failure.
+  kDataLoss,             ///< Stored data is corrupt (checksum/truncation).
   kInternal,             ///< Invariant breakage inside the library.
 };
 
@@ -59,6 +60,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -80,6 +84,7 @@ class Status {
   bool IsConstraintViolation() const {
     return code_ == StatusCode::kConstraintViolation;
   }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_;

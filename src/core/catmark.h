@@ -34,6 +34,7 @@
 #include "quality/constraint_lang.h" // IWYU pragma: export
 #include "quality/plugins.h"         // IWYU pragma: export
 #include "quality/query_plugins.h"   // IWYU pragma: export
+#include "relation/catm_io.h"        // IWYU pragma: export
 #include "relation/csv.h"            // IWYU pragma: export
 #include "relation/index.h"          // IWYU pragma: export
 #include "relation/ops.h"            // IWYU pragma: export

@@ -28,7 +28,8 @@ std::size_t EnvSizeT(const char* name, std::size_t fallback) {
       exit_code == 0 ? stdout : stderr,
       "Usage: %s [--n=<tuples>] [--passes=<k>] [--domain=<size>]\n"
       "          [--wm-bits=<b>] [--zipf=<s>] [--seed=<s>]\n"
-      "          [--prf=<%s>] [--help]\n"
+      "          [--prf=<%s>]\n"
+      "          [--dump-relation=<path.csv|path.catm>] [--help]\n"
       "Flags override the CATMARK_N / CATMARK_PASSES / CATMARK_DOMAIN /\n"
       "CATMARK_FULL / CATMARK_PRF environment variables.\n",
       argv0, RegisteredPrfNameList().c_str());
@@ -116,6 +117,9 @@ ExperimentConfig ExperimentConfig::FromArgs(int argc, char** argv) {
         PrintUsageAndExit(argv[0], 2);
       }
       config.prf = prf.value();
+    } else if ((value = FlagValue("--dump-relation", argc, argv, &i)) !=
+               nullptr) {
+      config.dump_relation = value;
     } else {
       std::fprintf(stderr, "Unknown flag: %s\n", argv[i]);
       PrintUsageAndExit(argv[0], 2);

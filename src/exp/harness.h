@@ -38,11 +38,17 @@ struct ExperimentConfig {
   /// it into.
   std::optional<PrfKind> prf;
 
+  /// When non-empty, benches that materialize a marked relation save it
+  /// here via SaveRelation (`.catm` = binary columnar, else CSV) — a
+  /// one-flag way to produce format fixtures from any experiment setup.
+  std::string dump_relation;
+
   static ExperimentConfig FromEnv();
 
   /// FromEnv() plus command-line overrides: --n=<tuples>, --passes=<k>,
   /// --domain=<size>, --wm-bits=<b>, --zipf=<s>, --seed=<s>,
-  /// --prf=<backend>. Flags win over the environment, so CI can smoke-run
+  /// --prf=<backend>, --dump-relation=<path>. Flags win over the
+  /// environment, so CI can smoke-run
   /// every bench with a tiny `--n ... --passes 1` regardless of the ambient
   /// configuration. Unknown flags (and unregistered --prf backends) abort
   /// with a usage message; --help prints it and exits.

@@ -7,6 +7,7 @@
 #include "common/str_util.h"
 #include "random/distributions.h"
 #include "random/rng.h"
+#include "relation/catm_io.h"
 
 namespace catmark {
 
@@ -145,6 +146,20 @@ Relation GenerateKeyedCategorical(const KeyedCategoricalConfig& config) {
         {Value(keys[i]), Value(labels[dist.Sample(rng)])});
   }
   return rel;
+}
+
+Result<std::size_t> GenerateItemScanFile(const SalesGenConfig& config,
+                                         const std::string& path) {
+  const Relation rel = GenerateItemScan(config);
+  CATMARK_RETURN_IF_ERROR(SaveRelation(rel, path));
+  return rel.NumRows();
+}
+
+Result<std::size_t> GenerateKeyedCategoricalFile(
+    const KeyedCategoricalConfig& config, const std::string& path) {
+  const Relation rel = GenerateKeyedCategorical(config);
+  CATMARK_RETURN_IF_ERROR(SaveRelation(rel, path));
+  return rel.NumRows();
 }
 
 }  // namespace catmark

@@ -2,7 +2,9 @@
 #define CATMARK_GEN_SALES_GEN_H_
 
 #include <cstdint>
+#include <string>
 
+#include "common/result.h"
 #include "relation/relation.h"
 
 namespace catmark {
@@ -56,6 +58,14 @@ struct KeyedCategoricalConfig {
 /// a shuffled order (so popularity rank does not correlate with the sorted
 /// domain index).
 Relation GenerateKeyedCategorical(const KeyedCategoricalConfig& config);
+
+/// Generate-and-save conveniences: write the relation straight to `path`,
+/// format chosen by extension (`.catm` = binary columnar, else CSV).
+/// Returns the number of tuples written.
+Result<std::size_t> GenerateItemScanFile(const SalesGenConfig& config,
+                                         const std::string& path);
+Result<std::size_t> GenerateKeyedCategoricalFile(
+    const KeyedCategoricalConfig& config, const std::string& path);
 
 }  // namespace catmark
 

@@ -1,0 +1,568 @@
+#include "relation/catm_io.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "relation/catm_format.h"
+#include "relation/csv.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CATMARK_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define CATMARK_HAVE_MMAP 0
+#endif
+
+namespace catmark {
+
+FileBytes::~FileBytes() {
+#if CATMARK_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+#endif
+}
+
+FileBytes::FileBytes(FileBytes&& other) noexcept
+    : size_(other.size_),
+      owned_(std::move(other.owned_)),
+      map_(other.map_),
+      map_len_(other.map_len_) {
+  // owned_'s buffer may relocate on move (SSO), so data_ must be re-derived
+  // rather than copied.
+  data_ = map_ != nullptr ? static_cast<const char*>(map_) : owned_.data();
+  other.map_ = nullptr;
+  other.map_len_ = 0;
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+FileBytes& FileBytes::operator=(FileBytes&& other) noexcept {
+  if (this == &other) return *this;
+#if CATMARK_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+#endif
+  size_ = other.size_;
+  owned_ = std::move(other.owned_);
+  map_ = other.map_;
+  map_len_ = other.map_len_;
+  data_ = map_ != nullptr ? static_cast<const char*>(map_) : owned_.data();
+  other.map_ = nullptr;
+  other.map_len_ = 0;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+Result<FileBytes> FileBytes::Open(const std::string& path) {
+  FileBytes fb;
+#if CATMARK_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                       PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::close(fd);
+      fb.map_ = map;
+      fb.map_len_ = static_cast<std::size_t>(st.st_size);
+      fb.data_ = static_cast<const char*>(map);
+      fb.size_ = fb.map_len_;
+      return fb;
+    }
+  }
+  ::close(fd);  // not a regular file / empty / mmap refused: buffered read
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("error while reading '" + path + "'");
+  }
+  fb.owned_ = std::move(buf).str();
+  fb.data_ = fb.owned_.data();
+  fb.size_ = fb.owned_.size();
+  return fb;
+}
+
+bool LooksLikeCatm(std::string_view bytes) {
+  return bytes.size() >= sizeof(kCatmMagic) &&
+         std::memcmp(bytes.data(), kCatmMagic, sizeof(kCatmMagic)) == 0;
+}
+
+namespace {
+
+std::uint8_t TypeByte(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return 0;
+    case ColumnType::kDouble:
+      return 1;
+    case ColumnType::kString:
+      return 2;
+  }
+  CATMARK_CHECK(false) << "unknown ColumnType";
+  return 0;
+}
+
+struct SectionEntry {
+  std::uint8_t kind = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t checksum = 0;
+};
+
+}  // namespace
+
+std::string WriteCatmString(const Relation& rel) {
+  const Schema& schema = rel.schema();
+  const ColumnStore& store = rel.store();
+  const std::size_t num_cols = schema.num_columns();
+  const std::uint64_t num_rows = store.num_rows();
+
+  std::size_t meta_length = 0;
+  for (const Column& col : schema.columns()) {
+    CATMARK_CHECK_LE(col.name.size(), std::size_t{0xFFFF})
+        << "column name too long for .catm";
+    meta_length += kCatmMetaPerColumn + col.name.size();
+  }
+  CATMARK_CHECK_LE(meta_length, std::size_t{0xFFFFFFFF})
+      << "schema too large for .catm";
+  const std::uint64_t sections_start = kCatmHeaderSize + meta_length;
+
+  // Column sections, contiguous in column order.
+  std::vector<std::uint8_t> body;
+  std::vector<SectionEntry> table(num_cols);
+  for (std::size_t c = 0; c < num_cols; ++c) {
+    const std::size_t begin = body.size();
+    if (store.IsDictColumn(c)) {
+      const std::vector<Value>& dict = store.Dict(c);
+      AppendLeU32(body, static_cast<std::uint32_t>(dict.size()));
+      std::vector<std::uint8_t> blob;
+      std::vector<std::uint64_t> offsets;
+      offsets.reserve(dict.size() + 1);
+      offsets.push_back(0);
+      for (const Value& v : dict) {
+        EncodeValue(v, blob);
+        offsets.push_back(blob.size());
+      }
+      AppendLeU64Array(body, offsets);
+      body.insert(body.end(), blob.begin(), blob.end());
+      AppendLeI64Array(body, store.DictLiveCounts(c));
+      AppendLeI32Array(body, store.Codes(c));
+      table[c].kind = kCatmSectionDict;
+    } else {
+      for (const Value& v : store.PlainValues(c)) EncodeValue(v, body);
+      table[c].kind = kCatmSectionPlain;
+    }
+    table[c].offset = sections_start + begin;
+    table[c].length = body.size() - begin;
+    table[c].checksum = CatmChecksum(body.data() + begin, body.size() - begin);
+  }
+
+  // Checksummed region: counts, schema entries, section table.
+  std::vector<std::uint8_t> checked;
+  checked.reserve((kCatmHeaderSize - kCatmChecksumStart) + meta_length);
+  AppendLeU64(checked, num_rows);
+  AppendLeU32(checked, static_cast<std::uint32_t>(num_cols));
+  AppendLeI32(checked, schema.primary_key_index());
+  for (const Column& col : schema.columns()) {
+    AppendLeU16(checked, static_cast<std::uint16_t>(col.name.size()));
+    checked.insert(checked.end(), col.name.begin(), col.name.end());
+    checked.push_back(TypeByte(col.type));
+    checked.push_back(col.categorical ? 1 : 0);
+  }
+  for (const SectionEntry& s : table) {
+    checked.push_back(s.kind);
+    AppendLeU64(checked, s.offset);
+    AppendLeU64(checked, s.length);
+    AppendLeU64(checked, s.checksum);
+  }
+  CATMARK_CHECK_EQ(checked.size(),
+                   (kCatmHeaderSize - kCatmChecksumStart) + meta_length);
+
+  std::string out;
+  out.reserve(kCatmHeaderSize + meta_length + body.size());
+  out.append(reinterpret_cast<const char*>(kCatmMagic), sizeof(kCatmMagic));
+  std::vector<std::uint8_t> head;
+  head.reserve(16);
+  AppendLeU32(head, kCatmVersion);
+  AppendLeU32(head, static_cast<std::uint32_t>(meta_length));
+  AppendLeU64(head, CatmChecksum(checked.data(), checked.size()));
+  out.append(head.begin(), head.end());
+  out.append(checked.begin(), checked.end());
+  out.append(body.begin(), body.end());
+  return out;
+}
+
+Status WriteCatmFile(const Relation& rel, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const std::string bytes = WriteCatmString(rel);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::IoError("error while writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Big-endian u64 load; the shift-or fold compiles to one byte-swapped load.
+inline std::uint64_t LoadBeU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Decodes a plain (non-categorical) section with a tight raw-pointer loop.
+/// DecodeValue produces identical values, but pays an out-of-line call per
+/// value, which made plain columns the dominant cost of a .catm load. On
+/// malformed input the failing value is re-decoded through DecodeValue so a
+/// corrupt image surfaces the exact same Status on either path; a value
+/// that decodes fine but carries the wrong tag is a schema/type mismatch.
+Status DecodePlainSection(ByteReader& r, ColumnType type,
+                          std::uint64_t num_rows, const std::string& name,
+                          std::vector<Value>& values) {
+  const std::size_t section_len = r.remaining();
+  const std::uint8_t* p = nullptr;
+  r.ReadBytes(section_len, p);
+  const std::uint8_t* const end = p + section_len;
+  // Every value takes at least one byte, so a row count beyond the section
+  // length can never finish; the cap keeps a corrupt count from
+  // over-reserving.
+  values.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(num_rows, section_len)));
+  const std::uint8_t want_tag = type == ColumnType::kInt64    ? 1
+                                : type == ColumnType::kDouble ? 2
+                                                              : 3;
+  const auto fail = [&](const std::uint8_t* at) -> Status {
+    ByteReader vr(at, static_cast<std::size_t>(end - at));
+    Value v;
+    CATMARK_RETURN_IF_ERROR(DecodeValue(vr, v));
+    return Status::InvalidArgument(
+        ".catm value type disagrees with the schema in column '" + name +
+        "'");
+  };
+  for (std::uint64_t i = 0; i < num_rows; ++i) {
+    const std::uint8_t* const at = p;
+    if (p == end) return fail(at);
+    const std::uint8_t tag = *p++;
+    if (tag == want_tag) {
+      if (end - p < 8) return fail(at);
+      const std::uint64_t u = LoadBeU64(p);
+      p += 8;
+      if (tag == 1) {
+        values.emplace_back(static_cast<std::int64_t>(u));
+      } else if (tag == 2) {
+        values.emplace_back(std::bit_cast<double>(u));
+      } else {
+        if (u > static_cast<std::uint64_t>(end - p)) return fail(at);
+        values.emplace_back(std::string(reinterpret_cast<const char*>(p),
+                                        static_cast<std::size_t>(u)));
+        p += u;
+      }
+    } else if (tag == 0) {
+      values.emplace_back();
+    } else {
+      return fail(at);
+    }
+  }
+  if (p != end) {
+    return Status::InvalidArgument(
+        ".catm plain section has trailing bytes in column '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Result<Relation> ReadCatmImpl(std::string_view bytes, const Schema* expected) {
+  const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  if (!LooksLikeCatm(bytes)) {
+    return Status::InvalidArgument("not a .catm file (bad magic)");
+  }
+  if (bytes.size() < kCatmHeaderSize) {
+    return Status::DataLoss("truncated .catm file: " +
+                            std::to_string(bytes.size()) +
+                            " bytes is shorter than the header");
+  }
+  ByteReader hdr(data + sizeof(kCatmMagic),
+                 kCatmHeaderSize - sizeof(kCatmMagic));
+  std::uint32_t version = 0;
+  std::uint32_t meta_length = 0;
+  std::uint64_t meta_checksum = 0;
+  std::uint64_t num_rows = 0;
+  std::uint32_t num_columns = 0;
+  std::int32_t pk_index = 0;
+  hdr.ReadLeU32(version);
+  hdr.ReadLeU32(meta_length);
+  hdr.ReadLeU64(meta_checksum);
+  hdr.ReadLeU64(num_rows);
+  hdr.ReadLeU32(num_columns);
+  hdr.ReadLeI32(pk_index);
+  if (version != kCatmVersion) {
+    return Status::InvalidArgument("unsupported .catm version " +
+                                   std::to_string(version) +
+                                   " (this build reads version " +
+                                   std::to_string(kCatmVersion) + ")");
+  }
+
+  const std::uint64_t sections_start =
+      static_cast<std::uint64_t>(kCatmHeaderSize) + meta_length;
+  if (sections_start > bytes.size()) {
+    return Status::DataLoss("truncated .catm file: meta block runs past EOF");
+  }
+  const std::uint64_t actual = CatmChecksum(
+      data + kCatmChecksumStart,
+      static_cast<std::size_t>(sections_start) - kCatmChecksumStart);
+  if (actual != meta_checksum) {
+    return Status::DataLoss(".catm meta checksum mismatch");
+  }
+
+  // The meta checksum verified; everything below is protected against
+  // corruption-in-transit, so remaining failures are malformed files.
+  if (num_columns == 0) {
+    return Status::InvalidArgument(".catm file declares zero columns");
+  }
+  if (num_columns > meta_length / kCatmMetaPerColumn) {
+    return Status::InvalidArgument(
+        ".catm column count " + std::to_string(num_columns) +
+        " exceeds what the meta block can describe");
+  }
+  // Every row costs >= 1 byte in every column section, so a row count
+  // beyond the file size is bogus — reject before sizing any vector by it.
+  if (num_rows > bytes.size()) {
+    return Status::InvalidArgument(".catm row count " +
+                                   std::to_string(num_rows) +
+                                   " exceeds the file size");
+  }
+
+  ByteReader meta(data + kCatmHeaderSize, meta_length);
+  std::vector<Column> columns(num_columns);
+  for (std::size_t c = 0; c < num_columns; ++c) {
+    std::uint16_t name_len = 0;
+    const std::uint8_t* name = nullptr;
+    std::uint8_t type = 0;
+    std::uint8_t categorical = 0;
+    if (!meta.ReadLeU16(name_len) || !meta.ReadBytes(name_len, name) ||
+        !meta.ReadU8(type) || !meta.ReadU8(categorical)) {
+      return Status::InvalidArgument(".catm meta block ends inside schema");
+    }
+    if (type > 2) {
+      return Status::InvalidArgument(".catm column " + std::to_string(c) +
+                                     " has unknown type byte " +
+                                     std::to_string(type));
+    }
+    if (categorical > 1) {
+      return Status::InvalidArgument(".catm column " + std::to_string(c) +
+                                     " has a categorical flag that is not 0/1");
+    }
+    columns[c].name.assign(reinterpret_cast<const char*>(name), name_len);
+    columns[c].type = static_cast<ColumnType>(type);
+    columns[c].categorical = categorical == 1;
+  }
+  std::string pk_name;
+  if (pk_index != -1) {
+    if (pk_index < 0 || static_cast<std::uint32_t>(pk_index) >= num_columns) {
+      return Status::InvalidArgument(".catm primary key index " +
+                                     std::to_string(pk_index) +
+                                     " is out of range");
+    }
+    pk_name = columns[static_cast<std::size_t>(pk_index)].name;
+  }
+  Result<Schema> schema_r = Schema::Create(std::move(columns), pk_name);
+  if (!schema_r.ok()) {
+    return Status::InvalidArgument(".catm schema is invalid: " +
+                                   schema_r.status().message());
+  }
+  Schema schema = std::move(schema_r).value();
+
+  std::vector<SectionEntry> table(num_columns);
+  std::uint64_t expect_offset = sections_start;
+  for (std::size_t c = 0; c < num_columns; ++c) {
+    SectionEntry& s = table[c];
+    if (!meta.ReadU8(s.kind) || !meta.ReadLeU64(s.offset) ||
+        !meta.ReadLeU64(s.length) || !meta.ReadLeU64(s.checksum)) {
+      return Status::InvalidArgument(
+          ".catm meta block ends inside the section table");
+    }
+    if (s.kind != kCatmSectionDict && s.kind != kCatmSectionPlain) {
+      return Status::InvalidArgument(".catm column " + std::to_string(c) +
+                                     " has unknown section kind " +
+                                     std::to_string(s.kind));
+    }
+    const bool want_dict = schema.column(c).categorical;
+    if ((s.kind == kCatmSectionDict) != want_dict) {
+      return Status::InvalidArgument(
+          ".catm section kind disagrees with the schema for column '" +
+          schema.column(c).name + "'");
+    }
+    if (s.offset != expect_offset) {
+      return Status::InvalidArgument(
+          ".catm sections are not contiguous at column " + std::to_string(c));
+    }
+    if (s.offset > bytes.size() || s.length > bytes.size() - s.offset) {
+      return Status::DataLoss("truncated .catm file: section for column " +
+                              std::to_string(c) + " runs past EOF");
+    }
+    expect_offset = s.offset + s.length;
+  }
+  if (!meta.AtEnd()) {
+    return Status::InvalidArgument(".catm meta block has trailing bytes");
+  }
+  if (expect_offset != bytes.size()) {
+    return Status::InvalidArgument(
+        ".catm file has trailing bytes after the last section");
+  }
+
+  ColumnStore store(schema);
+  for (std::size_t c = 0; c < num_columns; ++c) {
+    const SectionEntry& s = table[c];
+    const std::uint8_t* sp = data + s.offset;
+    const auto slen = static_cast<std::size_t>(s.length);
+    if (CatmChecksum(sp, slen) != s.checksum) {
+      return Status::DataLoss(".catm section checksum mismatch in column '" +
+                              schema.column(c).name + "'");
+    }
+    ByteReader r(sp, slen);
+    const ColumnType type = schema.column(c).type;
+    if (s.kind == kCatmSectionDict) {
+      std::uint32_t dict_count = 0;
+      if (!r.ReadLeU32(dict_count)) {
+        return Status::InvalidArgument(".catm dict section for column '" +
+                                       schema.column(c).name +
+                                       "' is too short");
+      }
+      std::vector<std::uint64_t> offsets;
+      if (!r.ReadLeU64Array(static_cast<std::size_t>(dict_count) + 1,
+                            offsets)) {
+        return Status::InvalidArgument(
+            ".catm dict offsets run past the section end in column '" +
+            schema.column(c).name + "'");
+      }
+      const std::uint64_t live_bytes = std::uint64_t{dict_count} * 8;
+      const std::uint64_t code_bytes = num_rows * 4;
+      if (live_bytes + code_bytes > r.remaining()) {
+        return Status::InvalidArgument(
+            ".catm dict section too short for live counts and codes in "
+            "column '" +
+            schema.column(c).name + "'");
+      }
+      const std::size_t blob_len =
+          r.remaining() - static_cast<std::size_t>(live_bytes + code_bytes);
+      if (offsets.front() != 0 || offsets.back() != blob_len) {
+        return Status::InvalidArgument(
+            ".catm dict blob length disagrees with its offsets in column '" +
+            schema.column(c).name + "'");
+      }
+      const std::uint8_t* blob = nullptr;
+      r.ReadBytes(blob_len, blob);
+      std::vector<Value> dict(dict_count);
+      for (std::size_t i = 0; i < dict_count; ++i) {
+        if (offsets[i] > offsets[i + 1]) {
+          return Status::InvalidArgument(
+              ".catm dict offsets are not monotone in column '" +
+              schema.column(c).name + "'");
+        }
+        ByteReader vr(blob + offsets[i],
+                      static_cast<std::size_t>(offsets[i + 1] - offsets[i]));
+        CATMARK_RETURN_IF_ERROR(DecodeValue(vr, dict[i]));
+        if (!vr.AtEnd()) {
+          return Status::InvalidArgument(
+              ".catm dict entry has trailing bytes in column '" +
+              schema.column(c).name + "'");
+        }
+        if (dict[i].is_null()) {
+          return Status::InvalidArgument(
+              ".catm dictionary contains a NULL entry in column '" +
+              schema.column(c).name + "'");
+        }
+        if (!dict[i].MatchesType(type)) {
+          return Status::InvalidArgument(
+              ".catm dict entry type disagrees with the schema in column '" +
+              schema.column(c).name + "'");
+        }
+      }
+      std::vector<std::int64_t> live;
+      std::vector<std::int32_t> codes;
+      r.ReadLeI64Array(dict_count, live);
+      r.ReadLeI32Array(static_cast<std::size_t>(num_rows), codes);
+      CATMARK_RETURN_IF_ERROR(
+          store.InstallDictColumn(c, std::move(dict), std::move(live),
+                                  std::move(codes)));
+    } else {
+      std::vector<Value> values;
+      CATMARK_RETURN_IF_ERROR(DecodePlainSection(
+          r, type, num_rows, schema.column(c).name, values));
+      CATMARK_RETURN_IF_ERROR(store.InstallPlainColumn(c, std::move(values)));
+    }
+  }
+  CATMARK_RETURN_IF_ERROR(
+      store.FinalizeInstall(static_cast<std::size_t>(num_rows)));
+
+  if (expected != nullptr && !(schema == *expected)) {
+    return Status::InvalidArgument(
+        ".catm schema does not match the expected schema; file has: " +
+        schema.ToString());
+  }
+  return Relation(std::move(schema), std::move(store));
+}
+
+}  // namespace
+
+Result<Relation> ReadCatmString(std::string_view bytes) {
+  return ReadCatmImpl(bytes, nullptr);
+}
+
+Result<Relation> ReadCatmString(std::string_view bytes,
+                                const Schema& expected) {
+  return ReadCatmImpl(bytes, &expected);
+}
+
+Result<Relation> ReadCatmFile(const std::string& path) {
+  CATMARK_ASSIGN_OR_RETURN(FileBytes bytes, FileBytes::Open(path));
+  return ReadCatmString(bytes.view());
+}
+
+Result<Relation> ReadCatmFile(const std::string& path,
+                              const Schema& expected) {
+  CATMARK_ASSIGN_OR_RETURN(FileBytes bytes, FileBytes::Open(path));
+  return ReadCatmString(bytes.view(), expected);
+}
+
+Result<Relation> LoadRelation(const std::string& path, const Schema& schema) {
+  CATMARK_ASSIGN_OR_RETURN(FileBytes bytes, FileBytes::Open(path));
+  if (LooksLikeCatm(bytes.view())) {
+    return ReadCatmString(bytes.view(), schema);
+  }
+  // CSV ingest goes through the chunked parallel parser; its output is
+  // byte-identical to the serial parser at every thread count.
+  return ReadCsvStringParallel(bytes.view(), schema);
+}
+
+Status SaveRelation(const Relation& rel, const std::string& path) {
+  constexpr std::string_view kExt = ".catm";
+  if (path.size() >= kExt.size() &&
+      std::string_view(path).substr(path.size() - kExt.size()) == kExt) {
+    return WriteCatmFile(rel, path);
+  }
+  return WriteCsvFile(rel, path);
+}
+
+}  // namespace catmark

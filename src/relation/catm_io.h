@@ -1,0 +1,75 @@
+#ifndef CATMARK_RELATION_CATM_IO_H_
+#define CATMARK_RELATION_CATM_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "relation/relation.h"
+
+namespace catmark {
+
+/// Read-only view of a whole file. Memory-maps on POSIX hosts (the .catm
+/// loader then bulk-copies column arrays straight out of the page cache);
+/// falls back to an ordinary buffered read elsewhere. Move-only; the view
+/// stays valid for the lifetime of the object.
+class FileBytes {
+ public:
+  FileBytes() = default;
+  ~FileBytes();
+  FileBytes(FileBytes&& other) noexcept;
+  FileBytes& operator=(FileBytes&& other) noexcept;
+  FileBytes(const FileBytes&) = delete;
+  FileBytes& operator=(const FileBytes&) = delete;
+
+  /// Opens and maps (or reads) `path`. IoError when it cannot be opened.
+  static Result<FileBytes> Open(const std::string& path);
+
+  std::string_view view() const { return {data_, size_}; }
+  bool mapped() const { return map_ != nullptr; }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string owned_;  // fallback storage; data_ points into it when set
+  void* map_ = nullptr;
+  std::size_t map_len_ = 0;
+};
+
+/// True when `bytes` starts with the .catm magic — the sniff the
+/// format-agnostic load path dispatches on.
+bool LooksLikeCatm(std::string_view bytes);
+
+/// Serializes `rel` as a .catm v1 image (see catm_format.h for the layout).
+/// Deterministic: equal stores (schema, dictionaries, codes, values)
+/// serialize to byte-identical output.
+std::string WriteCatmString(const Relation& rel);
+Status WriteCatmFile(const Relation& rel, const std::string& path);
+
+/// Parses a .catm image back into a Relation. Validation order: magic and
+/// version, then the meta checksum, then the schema and section table, then
+/// each section's checksum and contents — so corruption anywhere yields
+/// DataLoss (truncation / checksum mismatch) or InvalidArgument (structural
+/// inconsistency), never a crash. The two-argument form additionally
+/// requires the embedded schema to equal `expected`.
+Result<Relation> ReadCatmString(std::string_view bytes);
+Result<Relation> ReadCatmString(std::string_view bytes,
+                                const Schema& expected);
+Result<Relation> ReadCatmFile(const std::string& path);
+Result<Relation> ReadCatmFile(const std::string& path,
+                              const Schema& expected);
+
+/// Format-agnostic load: sniffs the file content (not the extension) and
+/// dispatches to the .catm reader or the CSV parser. Both paths validate
+/// against `schema`. This is what the CLI / harness / bench load through.
+Result<Relation> LoadRelation(const std::string& path, const Schema& schema);
+
+/// Format-by-extension save: paths ending in ".catm" write the binary
+/// format, everything else CSV.
+Status SaveRelation(const Relation& rel, const std::string& path);
+
+}  // namespace catmark
+
+#endif  // CATMARK_RELATION_CATM_IO_H_

@@ -279,6 +279,90 @@ void ColumnStore::SetCode(std::size_t row, std::size_t col,
   d.codes[row] = code;
 }
 
+Status ColumnStore::InstallDictColumn(std::size_t col,
+                                      std::vector<Value> dict,
+                                      std::vector<std::int64_t> live,
+                                      std::vector<std::int32_t> codes) {
+  CATMARK_CHECK_EQ(num_rows_, 0u) << "install on a non-fresh store";
+  CATMARK_CHECK_LT(col, columns_.size());
+  auto* d = std::get_if<DictColumn>(&columns_[col]);
+  CATMARK_CHECK(d != nullptr) << "column " << col << " is not dict-encoded";
+  CATMARK_CHECK(d->codes.empty() && d->dict.empty())
+      << "column " << col << " installed twice";
+  if (live.size() != dict.size()) {
+    return Status::InvalidArgument(
+        "dict column: live-count array does not match dictionary size");
+  }
+  // Rebuild the intern map; a duplicate canonical key means two codes would
+  // alias one value and future interns could not reproduce the assignment.
+  d->code_of.reserve(dict.size());
+  for (std::size_t i = 0; i < dict.size(); ++i) {
+    if (dict[i].is_null()) {
+      return Status::InvalidArgument("dict column: NULL dictionary entry");
+    }
+    const std::string_view key = dict[i].SerializeKeyInto(scratch_);
+    if (!d->code_of.emplace(std::string(key), static_cast<std::int32_t>(i))
+             .second) {
+      return Status::InvalidArgument(
+          "dict column: duplicate dictionary entry");
+    }
+  }
+  // Codes must land inside the dictionary and explain the live counts
+  // exactly — live counts are stored (not derived) so a corrupted-but-
+  // checksum-valid mismatch is treated as a malformed file, not repaired.
+  std::vector<std::int64_t> recounted(dict.size(), 0);
+  for (const std::int32_t code : codes) {
+    if (code == kNullCode) continue;
+    if (code < 0 || static_cast<std::size_t>(code) >= dict.size()) {
+      return Status::InvalidArgument("dict column: code out of range");
+    }
+    ++recounted[static_cast<std::size_t>(code)];
+  }
+  if (recounted != live) {
+    return Status::InvalidArgument(
+        "dict column: live counts disagree with the code vector");
+  }
+  d->dict = std::move(dict);
+  d->live = std::move(live);
+  d->codes = std::move(codes);
+  return Status::OK();
+}
+
+Status ColumnStore::InstallPlainColumn(std::size_t col,
+                                       std::vector<Value> values) {
+  CATMARK_CHECK_EQ(num_rows_, 0u) << "install on a non-fresh store";
+  CATMARK_CHECK_LT(col, columns_.size());
+  auto* p = std::get_if<PlainColumn>(&columns_[col]);
+  CATMARK_CHECK(p != nullptr) << "column " << col << " is dict-encoded";
+  CATMARK_CHECK(p->values.empty()) << "column " << col << " installed twice";
+  p->values = std::move(values);
+  return Status::OK();
+}
+
+Status ColumnStore::FinalizeInstall(std::size_t num_rows) {
+  CATMARK_CHECK_EQ(num_rows_, 0u) << "finalize on a non-fresh store";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    const std::size_t rows =
+        std::holds_alternative<DictColumn>(columns_[c])
+            ? std::get<DictColumn>(columns_[c]).codes.size()
+            : std::get<PlainColumn>(columns_[c]).values.size();
+    if (rows != num_rows) {
+      return Status::InvalidArgument(
+          "column " + std::to_string(c) + " holds " + std::to_string(rows) +
+          " rows, expected " + std::to_string(num_rows));
+    }
+  }
+  num_rows_ = num_rows;
+  return Status::OK();
+}
+
+std::vector<Value> ColumnStore::TakePlainColumn(std::size_t col) {
+  CATMARK_CHECK_LT(col, columns_.size());
+  auto* p = std::get_if<PlainColumn>(&columns_[col]);
+  CATMARK_CHECK(p != nullptr) << "column " << col << " is dict-encoded";
+  return std::move(p->values);
+}
+
 BulkCodeWriter::BulkCodeWriter(ColumnStore& store, std::size_t col,
                                std::size_t num_shards)
     : store_(store), col_(col) {

@@ -126,6 +126,41 @@ class ColumnStore {
   /// valid code for `col` (checked).
   void SetCode(std::size_t row, std::size_t col, std::int32_t code);
 
+  // --- Wholesale column installation (the zero-re-intern load surface) -----
+  //
+  // The .catm loader and the parallel-ingest dictionary merge build columns
+  // elsewhere (from disk sections / per-shard stores) and adopt them here
+  // without touching the per-row intern path. Contract: the store must be
+  // freshly constructed for the right schema (num_rows() == 0, CHECKed),
+  // each column installed at most once, and FinalizeInstall called last —
+  // a partially-installed store is not usable through the row API.
+  //
+  // Everything data-dependent is validated with a Status (the inputs come
+  // from disk and must never crash the process): duplicate or NULL
+  // dictionary entries, codes outside [kNullCode, dict size), and live
+  // counts that disagree with the code vector all return InvalidArgument.
+  // Code assignment is adopted verbatim — including dead (zero-live)
+  // entries — so a loaded store is code-for-code identical to the one that
+  // was serialized.
+
+  /// Installs a dictionary column from pre-encoded parts; rebuilds the
+  /// intern map from `dict` (O(dictionary), the only non-bulk work).
+  Status InstallDictColumn(std::size_t col, std::vector<Value> dict,
+                           std::vector<std::int64_t> live,
+                           std::vector<std::int32_t> codes);
+
+  /// Installs a plain column's per-row values.
+  Status InstallPlainColumn(std::size_t col, std::vector<Value> values);
+
+  /// Verifies every column holds exactly `num_rows` cells and commits the
+  /// row count; InvalidArgument (and the store stays inert) otherwise.
+  Status FinalizeInstall(std::size_t num_rows);
+
+  /// Moves a plain column's values out (the column is left empty). The
+  /// parallel-ingest merge concatenates shard columns through this instead
+  /// of copying every string.
+  std::vector<Value> TakePlainColumn(std::size_t col);
+
  private:
   friend class BulkCodeWriter;
   struct DictColumn {

@@ -20,6 +20,26 @@ Status WriteCsvFile(const Relation& rel, const std::string& path);
 Result<Relation> ReadCsvString(std::string_view text, const Schema& schema);
 Result<Relation> ReadCsvFile(const std::string& path, const Schema& schema);
 
+/// Chunked parallel CSV parse. Splits the data region at record boundaries
+/// into `num_threads` chunks (0 = auto: DefaultThreadCount, clamped so each
+/// chunk spans at least ~64 KiB; an explicit count is honored exactly),
+/// parses each chunk into a shard-local column store over common/parallel,
+/// then merges the shard dictionaries serially in shard order.
+///
+/// Determinism: the merge interns each shard's dictionary entries in
+/// dictionary (= shard-local first-occurrence) order, walking shards in
+/// input order, which equals global first-occurrence order — exactly the
+/// code assignment the serial parser produces. The result is therefore
+/// byte-identical (under WriteCatmString) to ReadCsvString at every thread
+/// count. On any parse error the input is re-parsed serially so the error
+/// message and line number are the canonical ones.
+Result<Relation> ReadCsvStringParallel(std::string_view text,
+                                       const Schema& schema,
+                                       std::size_t num_threads = 0);
+Result<Relation> ReadCsvFileParallel(const std::string& path,
+                                     const Schema& schema,
+                                     std::size_t num_threads = 0);
+
 }  // namespace catmark
 
 #endif  // CATMARK_RELATION_CSV_H_

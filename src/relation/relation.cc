@@ -7,6 +7,14 @@
 
 namespace catmark {
 
+Relation::Relation(Schema schema, ColumnStore store)
+    : schema_(std::move(schema)), store_(std::move(store)) {
+  CATMARK_CHECK_EQ(store_.num_columns(), schema_.num_columns());
+  for (std::size_t c = 0; c < schema_.num_columns(); ++c) {
+    CATMARK_CHECK_EQ(store_.IsDictColumn(c), schema_.column(c).categorical);
+  }
+}
+
 Status Relation::AppendRow(Row row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(

@@ -26,6 +26,13 @@ class Relation {
   explicit Relation(Schema schema)
       : schema_(std::move(schema)), store_(schema_) {}
 
+  /// Adopts a fully-built store — the .catm load and parallel-ingest merge
+  /// paths, which assemble the columnar storage directly and skip the
+  /// row-at-a-time append path entirely. The store's layout must match the
+  /// schema (column count and dict-vs-plain kinds, CHECKed); cell-level
+  /// validation is the builder's responsibility.
+  Relation(Schema schema, ColumnStore store);
+
   const Schema& schema() const { return schema_; }
 
   /// N — number of tuples.

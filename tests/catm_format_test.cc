@@ -1,0 +1,427 @@
+// Contract tests of the .catm v1 on-disk format. The serialized image is
+// part of the deployment surface — marked datasets get archived in this
+// format and must load byte-for-byte forever — so the golden image below is
+// pinned at the hex level, round-trips must be exact (dead dictionary
+// entries included), the parallel converter must be thread-count invariant,
+// and hostile bytes must fail with a clean Status: the corruption sweep
+// flips every single byte and tries every truncation of the golden image.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "core/embedder.h"
+#include "crypto/sha256.h"
+#include "gen/sales_gen.h"
+#include "relation/catm_format.h"
+#include "relation/catm_io.h"
+#include "relation/csv.h"
+#include "relation/relation.h"
+
+namespace catmark {
+namespace {
+
+std::string ToHex(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Schema TinySchema() {
+  return Schema::Create({{"K", ColumnType::kInt64, false},
+                         {"A", ColumnType::kString, true}},
+                        "K")
+      .value();
+}
+
+/// Three rows over (K INT64 PK, A STRING CATEGORICAL): dict {x=0, y=1},
+/// live {2, 1}, codes {0, 1, 0}. Small enough that the full image is
+/// pinnable as hex and the byte-flip sweep stays cheap.
+Relation TinyRelation() {
+  Relation rel(TinySchema());
+  rel.AppendRowUnchecked({Value(std::int64_t{1}), Value(std::string("x"))});
+  rel.AppendRowUnchecked({Value(std::int64_t{2}), Value(std::string("y"))});
+  rel.AppendRowUnchecked({Value(std::int64_t{3}), Value(std::string("x"))});
+  return rel;
+}
+
+// --- golden image ---------------------------------------------------------
+
+// The full .catm image of TinyRelation(). Regenerating this constant is a
+// conscious format break: every archived .catm file in the field stops
+// loading under a reader that disagrees with it.
+constexpr const char* kTinyGoldenHex =
+    // magic            version    meta_len   meta_checksum
+    "894341544d0d0a1a" "01000000" "3c000000" "1752e252d19756b8"
+    // num_rows=3       num_cols   pk_index=0
+    "0300000000000000" "02000000" "00000000"
+    // schema: "K" INT64 plain, "A" STRING categorical
+    "01004b0000" "0100410201"
+    // section table: K plain @100 len 27, A dict @127 len 76 (+ checksums)
+    "02" "6400000000000000" "1b00000000000000" "a3d3c6a7a1e1f0f0"
+    "01" "7f00000000000000" "4c00000000000000" "2efe2f64e135fa6b"
+    // plain K section: values 1, 2, 3 (tag 0x01 + big-endian payload)
+    "010000000000000001" "010000000000000002" "010000000000000003"
+    // dict A section: count=2; offsets {0, 10, 20}; blob {"x", "y"}
+    // (tag 0x03 + big-endian length + bytes); live {2, 1}; codes {0, 1, 0}
+    "02000000" "0000000000000000" "0a00000000000000" "1400000000000000"
+    "03000000000000000178" "03000000000000000179"
+    "0200000000000000" "0100000000000000" "00000000" "01000000" "00000000";
+
+TEST(CatmGoldenTest, ImageIsByteStable) {
+  EXPECT_EQ(ToHex(WriteCatmString(TinyRelation())), kTinyGoldenHex);
+}
+
+TEST(CatmGoldenTest, HeaderAndSectionLayout) {
+  const std::string bytes = WriteCatmString(TinyRelation());
+  ASSERT_GE(bytes.size(), kCatmHeaderSize);
+  const std::string_view view(bytes);
+
+  EXPECT_EQ(std::memcmp(bytes.data(), kCatmMagic, sizeof(kCatmMagic)), 0);
+
+  ByteReader r(view.substr(sizeof(kCatmMagic)));
+  std::uint32_t version = 0;
+  std::uint32_t meta_length = 0;
+  std::uint64_t meta_checksum = 0;
+  std::uint64_t num_rows = 0;
+  std::uint32_t num_columns = 0;
+  std::int32_t pk_index = 0;
+  ASSERT_TRUE(r.ReadLeU32(version));
+  ASSERT_TRUE(r.ReadLeU32(meta_length));
+  ASSERT_TRUE(r.ReadLeU64(meta_checksum));
+  ASSERT_TRUE(r.ReadLeU64(num_rows));
+  ASSERT_TRUE(r.ReadLeU32(num_columns));
+  ASSERT_TRUE(r.ReadLeI32(pk_index));
+
+  EXPECT_EQ(version, kCatmVersion);
+  EXPECT_EQ(num_rows, 3u);
+  EXPECT_EQ(num_columns, 2u);
+  EXPECT_EQ(pk_index, 0);
+  // kCatmMetaPerColumn covers everything per column but the name bytes
+  // themselves; the two column names ("K", "A") are one byte each.
+  EXPECT_EQ(meta_length, 1 + 1 + 2 * kCatmMetaPerColumn);
+  // The meta checksum covers counts + schema + section table.
+  EXPECT_EQ(meta_checksum,
+            CatmChecksum(view.substr(kCatmChecksumStart, 16 + meta_length)));
+
+  // Section table: entries are contiguous from the end of the meta block
+  // and cover the rest of the file exactly, each checksummed.
+  std::uint64_t expect_offset = kCatmHeaderSize + meta_length;
+  for (std::size_t c = 0; c < num_columns; ++c) {
+    // Skip this column's schema entry (name_len + name + type + cat).
+    std::uint16_t name_len = 0;
+    ASSERT_TRUE(r.ReadLeU16(name_len));
+    ASSERT_TRUE(r.Skip(name_len + 2));
+  }
+  for (std::size_t c = 0; c < num_columns; ++c) {
+    std::uint8_t kind = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    std::uint64_t checksum = 0;
+    ASSERT_TRUE(r.ReadU8(kind));
+    ASSERT_TRUE(r.ReadLeU64(offset));
+    ASSERT_TRUE(r.ReadLeU64(length));
+    ASSERT_TRUE(r.ReadLeU64(checksum));
+    EXPECT_EQ(kind, c == 0 ? kCatmSectionPlain : kCatmSectionDict);
+    EXPECT_EQ(offset, expect_offset);
+    EXPECT_EQ(checksum, CatmChecksum(view.substr(offset, length)));
+    expect_offset += length;
+  }
+  EXPECT_EQ(expect_offset, bytes.size()) << "sections must cover the file";
+}
+
+// --- round trips ----------------------------------------------------------
+
+TEST(CatmRoundTripTest, ExactIncludingDeadDictEntries) {
+  Relation rel = TinyRelation();
+  // A dictionary entry no row references (embedding can strand these when
+  // the last row holding a category is rewritten) must survive verbatim —
+  // dropping it would renumber codes and change the image.
+  const std::int32_t dead =
+      rel.mutable_store().InternValue(1, Value(std::string("zombie")));
+  ASSERT_EQ(rel.store().DictLiveCounts(1)[static_cast<std::size_t>(dead)], 0);
+
+  const std::string bytes = WriteCatmString(rel);
+  Result<Relation> back = ReadCatmString(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  EXPECT_TRUE(back->schema() == rel.schema());
+  EXPECT_EQ(back->store().Codes(1), rel.store().Codes(1));
+  EXPECT_EQ(back->store().Dict(1), rel.store().Dict(1));
+  EXPECT_EQ(back->store().DictLiveCounts(1), rel.store().DictLiveCounts(1));
+  EXPECT_EQ(back->store().PlainValues(0), rel.store().PlainValues(0));
+  EXPECT_TRUE(back->SameContent(rel));
+  // write(read(write(x))) == write(x): the image is a fixpoint.
+  EXPECT_EQ(WriteCatmString(*back), bytes);
+}
+
+TEST(CatmRoundTripTest, EveryValueTypeAndNull) {
+  const Schema schema =
+      Schema::Create({{"I", ColumnType::kInt64, false},
+                      {"D", ColumnType::kDouble, false},
+                      {"S", ColumnType::kString, false},
+                      {"C", ColumnType::kString, true}},
+                     "")
+          .value();
+  Relation rel(schema);
+  rel.AppendRowUnchecked({Value(std::int64_t{-1}), Value(0.5),
+                          Value(std::string("a,b\"c\nd")),
+                          Value(std::string("red"))});
+  rel.AppendRowUnchecked({Value(), Value(), Value(), Value()});
+  rel.AppendRowUnchecked(
+      {Value(std::numeric_limits<std::int64_t>::min()), Value(-0.0),
+       Value(std::string()), Value(std::string("red"))});
+
+  Result<Relation> back = ReadCatmString(WriteCatmString(rel));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(back->SameContent(rel));
+  // NULL round-trips as NULL (unlike CSV, which conflates it with ""), and
+  // -0.0 keeps its sign bit: the encoding is the exact bit pattern.
+  EXPECT_TRUE(back->Get(1, 2).is_null());
+  EXPECT_TRUE(std::signbit(back->Get(2, 1).AsDouble()));
+}
+
+TEST(CatmRoundTripTest, ExpectedSchemaMismatchIsInvalidArgument) {
+  const std::string bytes = WriteCatmString(TinyRelation());
+  const Schema other = Schema::Create({{"K", ColumnType::kInt64, false},
+                                       {"B", ColumnType::kString, true}},
+                                      "K")
+                           .value();
+  const Result<Relation> r = ReadCatmString(bytes, other);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+}
+
+// --- converter determinism ------------------------------------------------
+
+TEST(CatmConvertTest, ParallelIngestIsThreadCountInvariant) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 3000;
+  gen.domain_size = 40;
+  gen.seed = 99;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  const std::string csv = WriteCsvString(rel);
+
+  Result<Relation> serial = ReadCsvString(csv, rel.schema());
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  const std::string want = WriteCatmString(*serial);
+  // The serial parse assigns codes in first-occurrence order — the same
+  // order the generator appended in, so the original image matches too.
+  EXPECT_EQ(WriteCatmString(rel), want);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    Result<Relation> got = ReadCsvStringParallel(csv, rel.schema(), threads);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(WriteCatmString(*got), want)
+        << "converter output depends on thread count " << threads;
+  }
+}
+
+// --- corruption -----------------------------------------------------------
+
+TEST(CatmCorruptionTest, TruncationIsDataLoss) {
+  const std::string bytes = WriteCatmString(TinyRelation());
+  for (const std::size_t keep : {std::size_t{10}, bytes.size() - 1}) {
+    const Result<Relation> r =
+        ReadCatmString(std::string_view(bytes).substr(0, keep));
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  }
+}
+
+TEST(CatmCorruptionTest, SectionByteFlipIsDataLoss) {
+  std::string bytes = WriteCatmString(TinyRelation());
+  bytes.back() = static_cast<char>(bytes.back() ^ 0xFF);
+  const Result<Relation> r = ReadCatmString(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+}
+
+TEST(CatmCorruptionTest, BadMagicIsInvalidArgument) {
+  std::string bytes = WriteCatmString(TinyRelation());
+  bytes[0] = static_cast<char>(bytes[0] ^ 0xFF);
+  const Result<Relation> r = ReadCatmString(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+}
+
+TEST(CatmCorruptionTest, UnsupportedVersionIsInvalidArgument) {
+  std::string bytes = WriteCatmString(TinyRelation());
+  bytes[8] = 2;  // version field, little-endian u32 at offset 8
+  const Result<Relation> r = ReadCatmString(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+}
+
+TEST(CatmCorruptionTest, EverySingleByteFlipFailsToParse) {
+  // Whole-file integrity: the meta checksum covers the counts, schema and
+  // section table (which embeds the per-section checksums); the magic,
+  // version and meta_length fields are structurally validated. So there is
+  // no byte whose corruption goes unnoticed.
+  const std::string bytes = WriteCatmString(TinyRelation());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    const Result<Relation> r = ReadCatmString(mutated);
+    EXPECT_FALSE(r.ok()) << "flip at byte " << i << " parsed successfully";
+  }
+}
+
+TEST(CatmCorruptionTest, EveryTruncationFailsToParse) {
+  const std::string bytes = WriteCatmString(TinyRelation());
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    const Result<Relation> r =
+        ReadCatmString(std::string_view(bytes).substr(0, keep));
+    EXPECT_FALSE(r.ok()) << "truncation to " << keep << " bytes parsed";
+  }
+}
+
+// --- install API validation ----------------------------------------------
+
+TEST(CatmInstallTest, RejectsDuplicateDictionaryEntries) {
+  Relation rel(TinySchema());
+  const Status s = rel.mutable_store().InstallDictColumn(
+      1, {Value(std::string("x")), Value(std::string("x"))}, {1, 1}, {0, 1});
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(CatmInstallTest, RejectsCodeOutOfRange) {
+  Relation rel(TinySchema());
+  const Status s = rel.mutable_store().InstallDictColumn(
+      1, {Value(std::string("x"))}, {1}, {0, 7});
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(CatmInstallTest, RejectsLiveCountMismatch) {
+  Relation rel(TinySchema());
+  const Status s = rel.mutable_store().InstallDictColumn(
+      1, {Value(std::string("x"))}, {5}, {0, 0});
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(CatmInstallTest, FinalizeRejectsRowCountMismatch) {
+  Relation rel(TinySchema());
+  ASSERT_TRUE(rel.mutable_store()
+                  .InstallPlainColumn(0, {Value(std::int64_t{1})})
+                  .ok());
+  ASSERT_TRUE(rel.mutable_store()
+                  .InstallDictColumn(1, {Value(std::string("x"))}, {2},
+                                     {0, 0})
+                  .ok());
+  EXPECT_TRUE(rel.mutable_store().FinalizeInstall(2).IsInvalidArgument());
+}
+
+// --- file I/O and sniffing ------------------------------------------------
+
+TEST(CatmIoTest, LoadRelationSniffsContentNotExtension) {
+  const Relation rel = TinyRelation();
+  const std::string catm_path =
+      ::testing::TempDir() + "catm_sniff_binary.dat";
+  const std::string csv_path = ::testing::TempDir() + "catm_sniff_text.dat";
+  ASSERT_TRUE(WriteCatmFile(rel, catm_path).ok());
+  ASSERT_TRUE(WriteCsvFile(rel, csv_path).ok());
+
+  // Same neutral ".dat" extension for both: only the content differs, and
+  // LoadRelation must dispatch on the magic, not the name.
+  Result<Relation> from_catm = LoadRelation(catm_path, rel.schema());
+  ASSERT_TRUE(from_catm.ok()) << from_catm.status().ToString();
+  EXPECT_TRUE(from_catm->SameContent(rel));
+
+  Result<Relation> from_csv = LoadRelation(csv_path, rel.schema());
+  ASSERT_TRUE(from_csv.ok()) << from_csv.status().ToString();
+  EXPECT_TRUE(from_csv->SameContent(rel));
+
+  std::remove(catm_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(CatmIoTest, SaveRelationPicksFormatByExtension) {
+  const Relation rel = TinyRelation();
+  const std::string catm_path = ::testing::TempDir() + "catm_save_test.catm";
+  const std::string csv_path = ::testing::TempDir() + "catm_save_test.csv";
+  ASSERT_TRUE(SaveRelation(rel, catm_path).ok());
+  ASSERT_TRUE(SaveRelation(rel, csv_path).ok());
+
+  const FileBytes catm_bytes = FileBytes::Open(catm_path).value();
+  const FileBytes csv_bytes = FileBytes::Open(csv_path).value();
+  EXPECT_TRUE(LooksLikeCatm(catm_bytes.view()));
+  EXPECT_FALSE(LooksLikeCatm(csv_bytes.view()));
+  EXPECT_EQ(catm_bytes.view(), WriteCatmString(rel));
+  EXPECT_EQ(csv_bytes.view(), WriteCsvString(rel));
+
+  std::remove(catm_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+// --- cross-format golden pins ---------------------------------------------
+
+// The .catm round trip must preserve the exact embed/detect channel: the
+// pinned hashes below are the same constants golden_test.cc pins for the
+// CSV path, so a .catm loader that perturbed codes or dictionary order —
+// even content-preservingly — would fail here.
+
+TEST(CatmCrossFormatTest, RoundTripPreservesGoldenGeneratorHash) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 2000;
+  gen.domain_size = 64;
+  gen.seed = 424242;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  Result<Relation> back = ReadCatmString(WriteCatmString(rel));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  Sha256 sha;
+  EXPECT_EQ(
+      sha.Hash(WriteCsvString(*back)).ToHex(),
+      "a74968c3b53d067b5bf36f885cadf48e6c8ec835c801cd26b51b6cba8084a0a8");
+}
+
+TEST(CatmCrossFormatTest, EmbeddingOnRoundTrippedRelationIsPinned) {
+  KeyedCategoricalConfig gen;
+  gen.num_tuples = 2000;
+  gen.domain_size = 64;
+  gen.seed = 424242;
+  const Relation rel = GenerateKeyedCategorical(gen);
+  Result<Relation> back = ReadCatmString(WriteCatmString(rel));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  const struct {
+    PrfKind prf;
+    const char* pinned;
+  } kCases[] = {
+      {PrfKind::kKeyedHash,
+       "cdc9fcdcdc04480afcdb7338d8c67512911da1251e3ce1e57be25df5903c2e82"},
+      {PrfKind::kSipHash24,
+       "d325634b623a545ca00b353945cf90dd2f06ca31b9f47fc44d372f13fa2fc690"},
+  };
+  for (const auto& kase : kCases) {
+    Relation marked = *back;
+    const WatermarkKeySet keys = WatermarkKeySet::FromPassphrase("golden");
+    WatermarkParams params;
+    params.e = 25;
+    params.prf = kase.prf;
+    const BitVector wm = BitVector::FromString("1011001110").value();
+    EmbedOptions options;
+    options.key_attr = "K";
+    options.target_attr = "A";
+    Result<EmbedReport> report =
+        Embedder(keys, params).Embed(marked, options, wm);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    Sha256 sha;
+    EXPECT_EQ(sha.Hash(WriteCsvString(marked)).ToHex(), kase.pinned)
+        << "embedding over the .catm round trip diverged under "
+        << PrfKindName(kase.prf);
+  }
+}
+
+}  // namespace
+}  // namespace catmark

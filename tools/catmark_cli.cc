@@ -21,6 +21,15 @@
 //   catmark stream  --in rows.csv|- --schema <spec> --key <passphrase>
 //                   --certificate cert.txt --out grown.csv
 //                   [--base marked.csv] [--batch 1024]
+//   catmark convert --in data.csv --out data.catm --schema <spec>
+//                   [--threads N]
+//
+// Every --in / --base input is sniffed by content: files in the .catm
+// binary columnar format load with zero re-parsing/re-interning, anything
+// else parses as CSV (in parallel chunks). Every --out path ending in
+// `.catm` writes the binary format, anything else CSV. `convert`
+// translates between the two; both directions are lossless and
+// deterministic (CSV -> .catm is byte-identical at any --threads count).
 //
 // `stream` grows a marked relation with new rows, marking fit inserts on
 // the fly: rows come from --in (CSV, `-` for stdin), are pushed through a
@@ -139,30 +148,38 @@ Result<Schema> ParseSchemaSpec(const std::string& spec) {
   return Schema::Create(std::move(columns), pk);
 }
 
-Result<Relation> LoadCsv(const Flags& flags) {
+/// Loads --in by content sniff: .catm images through the binary reader,
+/// anything else through the (parallel) CSV parser. Both validate against
+/// --schema.
+Result<Relation> LoadInput(const Flags& flags) {
   const std::string path = flags.Get("in");
   if (path.empty()) return Status::InvalidArgument("--in is required");
   CATMARK_ASSIGN_OR_RETURN(const Schema schema,
                            ParseSchemaSpec(flags.Get("schema")));
-  return ReadCsvFile(path, schema);
+  return LoadRelation(path, schema);
 }
 
-Status SaveCsv(const Relation& rel, const Flags& flags) {
+/// Saves to --out by extension: `.catm` writes the binary format, anything
+/// else CSV.
+Status SaveOutput(const Relation& rel, const Flags& flags) {
   const std::string path = flags.Get("out");
   if (path.empty()) return Status::InvalidArgument("--out is required");
-  return WriteCsvFile(rel, path);
+  return SaveRelation(rel, path);
 }
 
 // ------------------------------------------------------------- subcommands
 
 int RunGen(const Flags& flags) {
-  Relation rel;
+  const std::string out = flags.Get("out");
+  if (out.empty()) return Fail("--out is required");
+  // The output format follows the extension: `.catm` binary, else CSV.
+  Result<std::size_t> written = Status::Internal("unreachable");
   if (flags.Has("sales")) {
     SalesGenConfig config;
     config.num_tuples = flags.GetUint("n", 10000);
     config.num_items = flags.GetUint("items", 500);
     config.seed = flags.GetUint("seed", 42);
-    rel = GenerateItemScan(config);
+    written = GenerateItemScanFile(config, out);
     std::printf("schema spec: Visit_Nbr:int:pk,Item_Nbr:int:cat,"
                 "Store_Nbr:int:cat,Dept_Desc:str:cat,Unit_Qty:int,"
                 "Sale_Amount:double\n");
@@ -171,19 +188,16 @@ int RunGen(const Flags& flags) {
     config.num_tuples = flags.GetUint("n", 10000);
     config.domain_size = flags.GetUint("items", 500);
     config.seed = flags.GetUint("seed", 42);
-    rel = GenerateKeyedCategorical(config);
+    written = GenerateKeyedCategoricalFile(config, out);
     std::printf("schema spec: K:int:pk,A:str:cat\n");
   }
-  if (const Status s = SaveCsv(rel, flags); !s.ok()) {
-    return Fail(s.ToString());
-  }
-  std::printf("wrote %zu tuples to %s\n", rel.NumRows(),
-              flags.Get("out").c_str());
+  if (!written.ok()) return Fail(written.status().ToString());
+  std::printf("wrote %zu tuples to %s\n", written.value(), out.c_str());
   return 0;
 }
 
 int RunEmbed(const Flags& flags) {
-  Result<Relation> rel = LoadCsv(flags);
+  Result<Relation> rel = LoadInput(flags);
   if (!rel.ok()) return Fail(rel.status().ToString());
   const std::string key = flags.Get("key");
   if (key.empty()) return Fail("--key is required");
@@ -222,7 +236,7 @@ int RunEmbed(const Flags& flags) {
       embedder.Embed(rel.value(), options, wm.value(),
                      flags.Has("constraints") ? &assessor : nullptr);
   if (!report.ok()) return Fail(report.status().ToString());
-  if (const Status s = SaveCsv(rel.value(), flags); !s.ok()) {
+  if (const Status s = SaveOutput(rel.value(), flags); !s.ok()) {
     return Fail(s.ToString());
   }
   std::printf(
@@ -251,7 +265,7 @@ int RunEmbed(const Flags& flags) {
 }
 
 int RunDetectWithCertificate(const Flags& flags) {
-  Result<Relation> rel = LoadCsv(flags);
+  Result<Relation> rel = LoadInput(flags);
   if (!rel.ok()) return Fail(rel.status().ToString());
   std::ifstream f(flags.Get("certificate"));
   if (!f) return Fail("cannot read " + flags.Get("certificate"));
@@ -277,7 +291,7 @@ int RunDetectWithCertificate(const Flags& flags) {
 
 int RunDetect(const Flags& flags) {
   if (flags.Has("certificate")) return RunDetectWithCertificate(flags);
-  Result<Relation> rel = LoadCsv(flags);
+  Result<Relation> rel = LoadInput(flags);
   if (!rel.ok()) return Fail(rel.status().ToString());
   const std::string key = flags.Get("key");
   if (key.empty()) return Fail("--key is required");
@@ -323,7 +337,7 @@ int RunDetect(const Flags& flags) {
 }
 
 int RunAttack(const Flags& flags) {
-  Result<Relation> rel = LoadCsv(flags);
+  Result<Relation> rel = LoadInput(flags);
   if (!rel.ok()) return Fail(rel.status().ToString());
   const std::string type = flags.Get("type");
   const double fraction = flags.GetDouble("fraction", 0.3);
@@ -347,7 +361,7 @@ int RunAttack(const Flags& flags) {
     out = std::move(remap.value().relation);
   }
   if (!out.ok()) return Fail(out.status().ToString());
-  if (const Status s = SaveCsv(out.value(), flags); !s.ok()) {
+  if (const Status s = SaveOutput(out.value(), flags); !s.ok()) {
     return Fail(s.ToString());
   }
   std::printf("%s attack: %zu -> %zu tuples, wrote %s\n", type.c_str(),
@@ -357,7 +371,7 @@ int RunAttack(const Flags& flags) {
 }
 
 int RunBandwidth(const Flags& flags) {
-  Result<Relation> rel = LoadCsv(flags);
+  Result<Relation> rel = LoadInput(flags);
   if (!rel.ok()) return Fail(rel.status().ToString());
   Result<std::vector<AttributeBandwidth>> all = AnalyzeRelationBandwidth(
       rel.value(), flags.GetUint("e", 60), flags.GetDouble("q", 0.01));
@@ -401,14 +415,15 @@ int RunStream(const Flags& flags) {
       ss << std::cin.rdbuf();
       return ReadCsvString(ss.str(), schema.value());
     }
-    return ReadCsvFile(in, schema.value());
+    return LoadRelation(in, schema.value());
   }();
   if (!input.ok()) return Fail(input.status().ToString());
 
-  // The relation to grow: --base when given, else empty under the schema.
+  // The relation to grow: --base when given (CSV or .catm, sniffed), else
+  // empty under the schema.
   Relation rel(schema.value());
   if (flags.Has("base")) {
-    Result<Relation> base = ReadCsvFile(flags.Get("base"), schema.value());
+    Result<Relation> base = LoadRelation(flags.Get("base"), schema.value());
     if (!base.ok()) return Fail(base.status().ToString());
     rel = std::move(base).value();
   }
@@ -435,7 +450,7 @@ int RunStream(const Flags& flags) {
     hashed += report->hashed_keys;
     at += len;
   }
-  if (const Status s = SaveCsv(rel, flags); !s.ok()) {
+  if (const Status s = SaveOutput(rel, flags); !s.ok()) {
     return Fail(s.ToString());
   }
   std::printf(
@@ -447,10 +462,42 @@ int RunStream(const Flags& flags) {
   return 0;
 }
 
+int RunConvert(const Flags& flags) {
+  const std::string in = flags.Get("in");
+  const std::string out = flags.Get("out");
+  if (in.empty()) return Fail("--in is required");
+  if (out.empty()) return Fail("--out is required");
+  Result<Schema> schema = ParseSchemaSpec(flags.Get("schema"));
+  if (!schema.ok()) return Fail(schema.status().ToString());
+  Result<FileBytes> bytes = FileBytes::Open(in);
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
+  const std::size_t in_size = bytes->view().size();
+  // Sniff the input format; --threads picks the CSV chunk count (0 = auto).
+  Result<Relation> rel =
+      LooksLikeCatm(bytes->view())
+          ? ReadCatmString(bytes->view(), schema.value())
+          : ReadCsvStringParallel(
+                bytes->view(), schema.value(),
+                static_cast<std::size_t>(flags.GetUint("threads", 0)));
+  if (!rel.ok()) return Fail(rel.status().ToString());
+  if (const Status s = SaveRelation(rel.value(), out); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::size_t out_size = 0;
+  if (Result<FileBytes> written = FileBytes::Open(out); written.ok()) {
+    out_size = written->view().size();
+  }
+  std::printf("converted %s (%zu bytes) -> %s (%zu bytes), %zu tuples\n",
+              in.c_str(), in_size, out.c_str(), out_size,
+              rel.value().NumRows());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: catmark <gen|embed|detect|attack|bandwidth|stream> [--flags]\n"
+      "usage: catmark <gen|embed|detect|attack|bandwidth|stream|convert> "
+      "[--flags]\n"
       "see the header of tools/catmark_cli.cc for full flag reference\n");
   return 1;
 }
@@ -465,6 +512,7 @@ int Main(int argc, char** argv) {
   if (command == "attack") return RunAttack(flags);
   if (command == "bandwidth") return RunBandwidth(flags);
   if (command == "stream") return RunStream(flags);
+  if (command == "convert") return RunConvert(flags);
   return Usage();
 }
 
