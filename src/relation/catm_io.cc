@@ -471,15 +471,20 @@ Result<Relation> ReadCatmImpl(std::string_view bytes, const Schema* expected) {
             ".catm dict blob length disagrees with its offsets in column '" +
             schema.column(c).name + "'");
       }
-      const std::uint8_t* blob = nullptr;
-      r.ReadBytes(blob_len, blob);
-      std::vector<Value> dict(dict_count);
+      // Full monotonicity must hold before any entry is decoded: together
+      // with front()==0 and back()==blob_len it bounds every offset by
+      // blob_len, so no ByteReader below can reach past the blob.
       for (std::size_t i = 0; i < dict_count; ++i) {
         if (offsets[i] > offsets[i + 1]) {
           return Status::InvalidArgument(
               ".catm dict offsets are not monotone in column '" +
               schema.column(c).name + "'");
         }
+      }
+      const std::uint8_t* blob = nullptr;
+      r.ReadBytes(blob_len, blob);
+      std::vector<Value> dict(dict_count);
+      for (std::size_t i = 0; i < dict_count; ++i) {
         ByteReader vr(blob + offsets[i],
                       static_cast<std::size_t>(offsets[i + 1] - offsets[i]));
         CATMARK_RETURN_IF_ERROR(DecodeValue(vr, dict[i]));

@@ -93,9 +93,12 @@ Result<StreamSession> StreamSession::Create(SessionSpec spec) {
 }
 
 Status StreamSession::BindColumns(const Relation& rel) {
-  // Memoized on the schema's identity; the name re-check makes a stale
-  // pointer (a new relation allocated where an old one lived) harmless.
+  // Memoized on the schema's identity; the bound and name re-checks make a
+  // stale pointer (a new relation allocated where an old one lived)
+  // harmless, even when the new schema has fewer columns.
   if (bound_schema_ == &rel.schema() &&
+      key_col_ < rel.schema().num_columns() &&
+      target_col_ < rel.schema().num_columns() &&
       rel.schema().column(key_col_).name == spec_.key_attr &&
       rel.schema().column(target_col_).name == spec_.target_attr) {
     return Status::OK();

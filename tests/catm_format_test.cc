@@ -38,6 +38,20 @@ std::string ToHex(std::string_view bytes) {
   return out;
 }
 
+void PutLeU64(std::string& bytes, std::size_t pos, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void PutBeU64(std::string& bytes, std::size_t pos, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * (7 - i))) & 0xFF);
+  }
+}
+
 Schema TinySchema() {
   return Schema::Create({{"K", ColumnType::kInt64, false},
                          {"A", ColumnType::kString, true}},
@@ -276,6 +290,66 @@ TEST(CatmCorruptionTest, EverySingleByteFlipFailsToParse) {
     const Result<Relation> r = ReadCatmString(mutated);
     EXPECT_FALSE(r.ok()) << "flip at byte " << i << " parsed successfully";
   }
+}
+
+TEST(CatmCorruptionTest, HostileDictOffsetsWithValidChecksumsAreRejected) {
+  // A crafted file can carry any offsets array behind *valid* (unkeyed)
+  // checksums, so the byte-flip sweep above never reaches this path — every
+  // flip dies on a checksum first. Regression for an out-of-bounds read:
+  // offsets [0, 2^32, blob_len] satisfy the endpoint checks, and the first
+  // blob entry claims a ~4 GiB string, so a loader that interleaves the
+  // monotonicity check with decoding builds a reader far past the section
+  // and copies attacker-chosen lengths out of unmapped memory.
+  std::string bytes = WriteCatmString(TinyRelation());
+  const std::string_view view(bytes);
+
+  std::uint32_t meta_length = 0;
+  std::uint32_t num_columns = 0;
+  {
+    ByteReader r(view.substr(12));
+    ASSERT_TRUE(r.ReadLeU32(meta_length));
+  }
+  {
+    ByteReader r(view.substr(32));
+    ASSERT_TRUE(r.ReadLeU32(num_columns));
+  }
+  ASSERT_EQ(num_columns, 2u);
+
+  // Section-table entry of the dict column ("A", column 1). Entries are
+  // kind(1) + offset(8) + length(8) + checksum(8) at the meta block's tail.
+  constexpr std::size_t kEntryBytes = 1 + 8 + 8 + 8;
+  const std::size_t table_pos =
+      kCatmHeaderSize + meta_length - num_columns * kEntryBytes;
+  const std::size_t entry_pos = table_pos + kEntryBytes;
+  std::uint8_t kind = 0;
+  std::uint64_t sec_off = 0;
+  std::uint64_t sec_len = 0;
+  {
+    ByteReader r(view.substr(entry_pos));
+    ASSERT_TRUE(r.ReadU8(kind));
+    ASSERT_TRUE(r.ReadLeU64(sec_off));
+    ASSERT_TRUE(r.ReadLeU64(sec_len));
+  }
+  ASSERT_EQ(kind, kCatmSectionDict);
+
+  // Dict section: u32 dict_count, u64 offsets[3], then the blob whose first
+  // entry is tag byte + big-endian u64 string length.
+  const auto sec = static_cast<std::size_t>(sec_off);
+  const std::uint64_t huge = std::uint64_t{1} << 32;
+  PutLeU64(bytes, sec + 4 + 8, huge);       // offsets[1]
+  PutBeU64(bytes, sec + 4 + 3 * 8 + 1, huge - 9);  // blob[0] string length
+  // Re-seal the file: section checksum in the table entry, then the meta
+  // checksum that covers the table.
+  PutLeU64(bytes, entry_pos + 1 + 8 + 8,
+           CatmChecksum(std::string_view(bytes).substr(
+               sec, static_cast<std::size_t>(sec_len))));
+  PutLeU64(bytes, 16,
+           CatmChecksum(std::string_view(bytes).substr(kCatmChecksumStart,
+                                                       16 + meta_length)));
+
+  const Result<Relation> r = ReadCatmString(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
 }
 
 TEST(CatmCorruptionTest, EveryTruncationFailsToParse) {
