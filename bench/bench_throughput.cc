@@ -28,6 +28,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "core/codec.h"
+#include "core/detect_engine.h"
 #include "core/detector.h"
 #include "core/embedder.h"
 #include "ecc/code.h"
@@ -575,6 +576,123 @@ int Run(const ExperimentConfig& config) {
   std::remove(csv_path.c_str());
   std::remove(catm_path.c_str());
 
+  // Blind multi-key ownership sweep: "whose mark is this data carrying?"
+  // over a large candidate key registry. The naive baseline re-runs a full
+  // Detector::Detect per candidate, re-serializing every key and re-copying
+  // the domain each time (what a pre-engine caller had to do, DetectWith-
+  // Certificate-style); the engine row builds one RelationPlan and pushes
+  // every candidate through the amortized per-key pass. The suspect uses a
+  // repeat-heavy dictionary-encoded key column (a customer registry with
+  // ~256 rows per customer) — the layout the dict-code gather exists for —
+  // and the siphash24 backend, like the other headline perf rows. The first
+  // kSweepNaiveKeys candidates are verified bit-identical between the two
+  // paths inline, so a fast-but-divergent sweep fails the bench.
+  const std::size_t sweep_n = std::min<std::size_t>(config.num_tuples, 300000);
+  const std::size_t sweep_pool = std::max<std::size_t>(256, sweep_n / 256);
+  constexpr std::size_t kSweepKeys = 1000;
+  constexpr std::size_t kSweepNaiveKeys = 25;
+  WatermarkParams sweep_params = serial_params;
+  sweep_params.prf = PrfKind::kSipHash24;
+  // Registry-style fixed payload (owner-side metadata), not the derived
+  // N/e-long channel: a sweep decides 1000 claims against *recorded*
+  // certificates, and an N-proportional vote vector per candidate would
+  // charge the per-key pass for payload bookkeeping instead of hashing.
+  sweep_params.payload_length = std::max<std::size_t>(config.wm_bits * 4, 64);
+  Relation sweep_rel(Schema::Create({{"K", ColumnType::kString, true},
+                                     {"A", ColumnType::kString, true}})
+                         .value());
+  {
+    std::mt19937_64 rng(config.base_seed + 13);
+    for (std::size_t i = 0; i < sweep_n; ++i) {
+      const std::uint64_t h = rng();
+      Row row;
+      row.emplace_back("cust-" + std::to_string(h % sweep_pool));
+      row.emplace_back("val-" +
+                       std::to_string((h / sweep_pool) % config.domain_size));
+      sweep_rel.AppendRowUnchecked(std::move(row));
+    }
+  }
+  Result<EmbedReport> sweep_embed =
+      Embedder(keys, sweep_params).Embed(sweep_rel, embed_options, wm);
+  CATMARK_CHECK(sweep_embed.ok()) << sweep_embed.status().ToString();
+  const EmbedReport sweep_report = std::move(sweep_embed).value();
+
+  std::vector<KeyCandidate> sweep_candidates;
+  sweep_candidates.reserve(kSweepKeys);
+  for (std::size_t i = 0; i < kSweepKeys; ++i) {
+    KeyCandidate c;
+    c.keys = i == 0 ? keys
+                    : WatermarkKeySet::FromSeed(config.base_seed * 1000 + i);
+    c.params = sweep_params;
+    c.params.payload_length = sweep_report.payload_length;
+    c.wm_len = wm.size();
+    sweep_candidates.push_back(std::move(c));
+  }
+
+  double sweep_naive_per_key_ms = std::numeric_limits<double>::infinity();
+  double sweep_per_key_ms = std::numeric_limits<double>::infinity();
+  double sweep_plan_ms = std::numeric_limits<double>::infinity();
+  std::vector<DetectionResult> sweep_naive(kSweepNaiveKeys);
+  for (std::size_t pass = 0; pass < config.passes; ++pass) {
+    {
+      const auto start = Clock::now();
+      for (std::size_t i = 0; i < kSweepNaiveKeys; ++i) {
+        DetectOptions naive_options;
+        naive_options.key_attr = "K";
+        naive_options.target_attr = "A";
+        naive_options.payload_length = sweep_report.payload_length;
+        naive_options.domain = sweep_report.domain;  // per-call copy
+        Result<DetectionResult> r =
+            Detector(sweep_candidates[i].keys, sweep_params)
+                .Detect(sweep_rel, naive_options, wm.size());
+        CATMARK_CHECK(r.ok()) << r.status().ToString();
+        sweep_naive[i] = std::move(r).value();
+      }
+      const double ms = SecondsSince(start) * 1e3 / kSweepNaiveKeys;
+      if (ms < sweep_naive_per_key_ms) sweep_naive_per_key_ms = ms;
+    }
+    {
+      DetectEngineOptions engine_options;
+      engine_options.key_attr = "K";
+      engine_options.target_attr = "A";
+      engine_options.domain_view = &sweep_report.domain;
+      engine_options.payload_length = sweep_report.payload_length;
+      engine_options.num_threads = serial_params.num_threads;
+      const auto plan_start = Clock::now();
+      Result<DetectEngine> engine =
+          DetectEngine::Create(sweep_rel, engine_options);
+      const double plan_ms = SecondsSince(plan_start) * 1e3;
+      CATMARK_CHECK(engine.ok()) << engine.status().ToString();
+      if (plan_ms < sweep_plan_ms) sweep_plan_ms = plan_ms;
+
+      const auto start = Clock::now();
+      const std::vector<Result<DetectionResult>> results =
+          engine.value().DetectMany(
+              std::span<const KeyCandidate>(sweep_candidates));
+      const double ms = SecondsSince(start) * 1e3 / kSweepKeys;
+      for (std::size_t i = 0; i < kSweepNaiveKeys; ++i) {
+        CATMARK_CHECK(results[i].ok()) << results[i].status().ToString();
+        CATMARK_CHECK(results[i].value().wm == sweep_naive[i].wm)
+            << "sweep decoded a different mark than repeated detect (key "
+            << i << ")";
+        CATMARK_CHECK_EQ(results[i].value().usable_votes,
+                         sweep_naive[i].usable_votes)
+            << "sweep tallied different votes than repeated detect (key "
+            << i << ")";
+        CATMARK_CHECK_EQ(results[i].value().fit_tuples,
+                         sweep_naive[i].fit_tuples)
+            << "sweep found different fit tuples than repeated detect (key "
+            << i << ")";
+      }
+      if (ms < sweep_per_key_ms) sweep_per_key_ms = ms;
+    }
+  }
+  const double sweep_keys_per_sec =
+      sweep_per_key_ms > 0.0 ? 1e3 / sweep_per_key_ms : 0.0;
+  const double sweep_gain = sweep_per_key_ms > 0.0
+                                ? sweep_naive_per_key_ms / sweep_per_key_ms
+                                : 0.0;
+
   PrintTableTitle("embed/detect pipeline throughput (tuples/sec, best of "
                   "passes)");
   PrintTableHeader({"stage", "serial", "parallel", "speedup", "threads"});
@@ -629,6 +747,22 @@ int Run(const ExperimentConfig& config) {
   PrintTableRow({"batch gain", FormatDouble(stream_batch_gain, 2) + "x",
                  "(batch=1024 / batch=1, 1 session)", "", ""});
 
+  PrintTableTitle("blind multi-key ownership sweep (dict keys, siphash24; "
+                  "naive = repeated Detector::Detect)");
+  PrintTableHeader({"metric", "value", "", "", ""});
+  PrintTableRow({"sweep keys", std::to_string(kSweepKeys), "", "", ""});
+  PrintTableRow({"suspect tuples", std::to_string(sweep_n), "", "", ""});
+  PrintTableRow({"naive per-key (ms)",
+                 FormatDouble(sweep_naive_per_key_ms, 3), "", "", ""});
+  PrintTableRow({"sweep per-key (ms)", FormatDouble(sweep_per_key_ms, 4),
+                 "", "", ""});
+  PrintTableRow({"plan build (ms)", FormatDouble(sweep_plan_ms, 3),
+                 "", "", ""});
+  PrintTableRow({"sweep keys/sec", FormatDouble(sweep_keys_per_sec, 0),
+                 "", "", ""});
+  PrintTableRow({"sweep gain", FormatDouble(sweep_gain, 2) + "x",
+                 "(naive per-key / sweep per-key)", "", ""});
+
   if (const char* json_path = std::getenv("CATMARK_BENCH_JSON")) {
     std::ofstream out(json_path, std::ios::trunc);
     if (!out) {
@@ -677,7 +811,14 @@ int Run(const ExperimentConfig& config) {
         "  \"stream_s8_b1_tps\": %.0f,\n"
         "  \"stream_s8_b64_tps\": %.0f,\n"
         "  \"stream_s8_b1024_tps\": %.0f,\n"
-        "  \"stream_batch_gain\": %.3f\n"
+        "  \"stream_batch_gain\": %.3f,\n"
+        "  \"sweep_keys\": %zu,\n"
+        "  \"sweep_n\": %zu,\n"
+        "  \"sweep_naive_per_key_ms\": %.4f,\n"
+        "  \"sweep_per_key_ms\": %.5f,\n"
+        "  \"sweep_plan_ms\": %.4f,\n"
+        "  \"sweep_keys_per_sec\": %.0f,\n"
+        "  \"sweep_gain\": %.2f\n"
         "}\n",
         config.num_tuples, config.domain_size, config.passes,
         parallel_params.num_threads, embed.serial_tps, embed.parallel_tps,
@@ -691,7 +832,8 @@ int Run(const ExperimentConfig& config) {
         e2e_format_gain, csv_bytes, catm_bytes, stream_n,
         stream_s1_tps[0], stream_s1_tps[1], stream_s1_tps[2],
         stream_s8_tps[0], stream_s8_tps[1], stream_s8_tps[2],
-        stream_batch_gain);
+        stream_batch_gain, kSweepKeys, sweep_n, sweep_naive_per_key_ms,
+        sweep_per_key_ms, sweep_plan_ms, sweep_keys_per_sec, sweep_gain);
     out << buf;
     std::printf("json report: %s\n", json_path);
   }

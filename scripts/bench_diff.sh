@@ -38,7 +38,8 @@ with open(current_path) as f:
     current = json.load(f)
 
 # Configuration fields — identity, not performance; excluded from the diff.
-CONFIG_KEYS = {"bench", "n", "domain", "passes", "threads", "stream_n"}
+CONFIG_KEYS = {"bench", "n", "domain", "passes", "threads", "stream_n",
+               "sweep_keys", "sweep_n"}
 
 def numeric_keys(report):
     return {k for k, v in report.items()
@@ -50,13 +51,19 @@ union = numeric_keys(baseline) | numeric_keys(current)
 # Preferred ordering groups rows by pipeline stage; anything the prefixes
 # don't cover (future rows) trails alphabetically rather than vanishing.
 PREFIX_ORDER = ["embed_map_", "embed_", "detect_prf_", "detect_",
-                "index_", "load_", "e2e_", "csv_", "catm_", "stream_"]
+                "index_", "load_", "e2e_", "csv_", "catm_", "stream_",
+                "sweep_"]
 
 def sort_key(key):
     for rank, prefix in enumerate(PREFIX_ORDER):
         if key.startswith(prefix):
             return (rank, key)
     return (len(PREFIX_ORDER), key)
+
+def row_threshold(key):
+    # The sweep rows guard the detect-engine amortization story and get a
+    # tighter 10% bar; everything else uses the CLI-level default.
+    return min(threshold, 10.0) if key.startswith("sweep_") else threshold
 
 print(f"{'bench row':<36}{'baseline':>14}{'current':>14}{'delta':>10}")
 for key in sorted(union, key=sort_key):
@@ -71,7 +78,12 @@ for key in sorted(union, key=sort_key):
         continue
     delta = 0.0 if old == 0 else (new - old) / old * 100.0
     print(f"{key:<36}{old:>14}{new:>14}{delta:>+9.1f}%")
-    if delta < -threshold:
-        print(f"::warning title=throughput regression::{key} fell "
-              f"{-delta:.1f}% vs baseline ({old} -> {new})")
+    # "_ms" rows are durations (lower is better); everything else is a rate
+    # or gain where a drop is the regression.
+    regressed = (delta > row_threshold(key) if key.endswith("_ms")
+                 else delta < -row_threshold(key))
+    if regressed:
+        direction = "rose" if key.endswith("_ms") else "fell"
+        print(f"::warning title=throughput regression::{key} {direction} "
+              f"{abs(delta):.1f}% vs baseline ({old} -> {new})")
 EOF

@@ -58,6 +58,41 @@ constexpr bool IsPowerOfTwo(std::uint64_t x) {
   return x != 0 && (x & (x - 1)) == 0;
 }
 
+/// Precomputed divisibility test `h % d == 0` for a loop-invariant divisor:
+/// the detect hot loop evaluates the fitness criterion H mod e == 0 once per
+/// prepared message per candidate key, and a hardware 64-bit divide there
+/// costs more than the SipHash itself on short keys. Splits d into
+/// 2^k * odd and combines a mask test with the Granlund–Montgomery/Lemire
+/// exact-divisibility multiply: for odd m, `h * inv(m) <= UINT64_MAX / m`
+/// iff m divides h, where inv(m) is the modular inverse of m mod 2^64.
+class DivisibilityCheck {
+ public:
+  explicit constexpr DivisibilityCheck(std::uint64_t d) {
+    CATMARK_CHECK(d >= 1u);
+    std::uint64_t odd = d;
+    while ((odd & 1u) == 0) {
+      odd >>= 1;
+      pow2_mask_ = (pow2_mask_ << 1) | 1u;
+    }
+    // Newton iteration doubles the valid low bits each round; five rounds
+    // from a 5-bit-correct seed (m * m ≡ m mod 16 for odd m... the standard
+    // seed inv = m is correct mod 2^3) reach all 64 bits.
+    std::uint64_t inv = odd;
+    for (int i = 0; i < 5; ++i) inv *= 2u - odd * inv;
+    odd_inv_ = inv;
+    odd_limit_ = ~std::uint64_t{0} / odd;
+  }
+
+  constexpr bool operator()(std::uint64_t h) const {
+    return (h & pow2_mask_) == 0 && h * odd_inv_ <= odd_limit_;
+  }
+
+ private:
+  std::uint64_t pow2_mask_ = 0;
+  std::uint64_t odd_inv_ = 1;
+  std::uint64_t odd_limit_ = ~std::uint64_t{0};
+};
+
 }  // namespace catmark
 
 #endif  // CATMARK_COMMON_BITS_H_

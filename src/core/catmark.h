@@ -15,6 +15,7 @@
 #include "core/certificate.h"        // IWYU pragma: export
 #include "core/codec.h"              // IWYU pragma: export
 #include "core/decision.h"           // IWYU pragma: export
+#include "core/detect_engine.h"      // IWYU pragma: export
 #include "core/detector.h"           // IWYU pragma: export
 #include "core/embedder.h"           // IWYU pragma: export
 #include "core/embedding_map.h"      // IWYU pragma: export

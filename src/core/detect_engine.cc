@@ -1,0 +1,409 @@
+#include "core/detect_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "core/codec.h"
+#include "core/embedder.h"
+#include "core/tuple_plan.h"
+#include "crypto/prf.h"
+#include "relation/column_store.h"
+
+namespace catmark {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+constexpr std::uint32_t kNoMessage = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+/// Per-worker reusable buffers of the PerKeyPass: one k1 chunk, the fit
+/// subset's k2 probes, and the vote tally. A sweep touches these thousands
+/// of times per worker — none of them may allocate per key.
+struct DetectEngine::Scratch {
+  std::vector<long> votes;
+  std::vector<std::uint64_t> h1;
+  std::vector<std::uint64_t> h2;
+  std::vector<std::string_view> fit_views;
+  std::vector<std::uint32_t> fit_msg;
+};
+
+Result<DetectEngine> DetectEngine::Create(const Relation& rel,
+                                          const DetectEngineOptions& options) {
+  const SteadyClock::time_point start = SteadyClock::now();
+  DetectEngine engine;
+  CATMARK_ASSIGN_OR_RETURN(
+      const std::size_t key_col,
+      rel.schema().ColumnIndexOrError(options.key_attr));
+  CATMARK_ASSIGN_OR_RETURN(
+      const std::size_t target_col,
+      rel.schema().ColumnIndexOrError(options.target_attr));
+  if (rel.empty()) {
+    return Status::FailedPrecondition("cannot detect in an empty relation");
+  }
+
+  if (options.domain_view != nullptr) {
+    engine.domain_ = options.domain_view;
+  } else if (options.domain.has_value()) {
+    engine.owned_domain_ =
+        std::make_unique<CategoricalDomain>(*options.domain);
+    engine.domain_ = engine.owned_domain_.get();
+  } else {
+    CATMARK_ASSIGN_OR_RETURN(
+        CategoricalDomain recovered,
+        CategoricalDomain::FromRelationColumn(rel, target_col));
+    engine.owned_domain_ =
+        std::make_unique<CategoricalDomain>(std::move(recovered));
+    engine.domain_ = engine.owned_domain_.get();
+  }
+  if (engine.domain_->size() < 2) {
+    return Status::FailedPrecondition("domain has fewer than 2 values");
+  }
+
+  const std::size_t n = rel.NumRows();
+  engine.num_rows_ = n;
+  engine.num_threads_ = options.num_threads;
+  engine.default_payload_length_ = options.payload_length;
+  const std::size_t threads = EffectiveThreadCount(options.num_threads, n);
+
+  const ValueIndexColumn* target_index = options.target_index;
+  if (target_index != nullptr && target_index->size() != n) {
+    return Status::InvalidArgument(
+        "target_index has a different row count than the suspect relation");
+  }
+  ValueIndexColumn local_index;
+  if (target_index == nullptr) {
+    local_index =
+        ValueIndexColumn::Build(rel, target_col, *engine.domain_, threads);
+    target_index = &local_index;
+  }
+
+  const ColumnStore& store = rel.store();
+  engine.dict_keys_ = store.IsDictColumn(key_col);
+
+  if (engine.dict_keys_) {
+    // Dict-code gather: one message per *live* distinct dictionary entry,
+    // serialized once — every row holding that entry shares its fitness
+    // and position hashes, so the pass never revisits the row dimension.
+    const std::vector<Value>& dict = store.Dict(key_col);
+    const std::vector<std::int32_t>& codes = store.Codes(key_col);
+    const std::vector<std::int64_t>& live = store.DictLiveCounts(key_col);
+    const std::size_t dict_threads =
+        EffectiveThreadCount(options.num_threads, dict.size());
+    engine.arena_.resize(dict_threads);
+    // Seed each shard's leading bound *before* the fan-out: ParallelFor
+    // never invokes the body for zero items (a dictionary with no live
+    // entry — e.g. an all-NULL key column), and TallyShard reads
+    // bounds.size() - 1 as the message count.
+    engine.bounds_.assign(dict_threads, std::vector<std::size_t>{0});
+    std::vector<std::vector<std::uint32_t>> shard_codes(dict_threads);
+    ParallelFor(dict.size(), dict_threads,
+                [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                  std::vector<std::uint8_t>& arena = engine.arena_[shard];
+                  std::vector<std::size_t>& bounds = engine.bounds_[shard];
+                  for (std::size_t code = begin; code < end; ++code) {
+                    if (live[code] == 0) continue;  // no referencing row
+                    dict[code].SerializeForHash(arena);
+                    bounds.push_back(arena.size());
+                    shard_codes[shard].push_back(
+                        static_cast<std::uint32_t>(code));
+                  }
+                });
+
+    engine.msg_base_.resize(dict_threads);
+    std::size_t total = 0;
+    std::vector<std::uint32_t> msg_of_code(dict.size(), kNoMessage);
+    for (std::size_t s = 0; s < dict_threads; ++s) {
+      engine.msg_base_[s] = total;
+      for (const std::uint32_t code : shard_codes[s]) {
+        msg_of_code[code] = static_cast<std::uint32_t>(total++);
+      }
+    }
+    engine.num_messages_ = total;
+    engine.vote_.assign(total, 0);
+    engine.usable_.assign(total, 0);
+    engine.rows_.assign(total, 0);
+
+    // Fold every row into its message's key-independent aggregates. The
+    // per-worker accumulators are |messages| wide, so cap the worker count
+    // when a near-unique key column would make the transient copies large
+    // (the fold is a cheap streaming pass; extra workers buy little there).
+    std::size_t agg_threads = EffectiveThreadCount(options.num_threads, n);
+    const std::size_t per_worker_bytes = total * 12;
+    while (agg_threads > 1 &&
+           (agg_threads - 1) * per_worker_bytes > (std::size_t{64} << 20)) {
+      --agg_threads;
+    }
+    std::vector<std::vector<std::int32_t>> shard_vote(
+        agg_threads, std::vector<std::int32_t>(total, 0));
+    std::vector<std::vector<std::uint32_t>> shard_usable(
+        agg_threads, std::vector<std::uint32_t>(total, 0));
+    std::vector<std::vector<std::uint32_t>> shard_rows(
+        agg_threads, std::vector<std::uint32_t>(total, 0));
+    ParallelFor(n, agg_threads,
+                [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                  std::vector<std::int32_t>& vote = shard_vote[shard];
+                  std::vector<std::uint32_t>& usable = shard_usable[shard];
+                  std::vector<std::uint32_t>& rows = shard_rows[shard];
+                  for (std::size_t j = begin; j < end; ++j) {
+                    const std::int32_t code = codes[j];
+                    if (code < 0) continue;  // NULL key: unfit, no message
+                    const std::uint32_t m =
+                        msg_of_code[static_cast<std::size_t>(code)];
+                    ++rows[m];
+                    const std::int32_t t = target_index->index(j);
+                    if (t < 0) continue;  // NULL / out-of-domain target
+                    ++usable[m];
+                    vote[m] += ExtractBitFromValueIndex(
+                                   static_cast<std::size_t>(t))
+                                   ? 1
+                                   : -1;
+                  }
+                });
+    for (std::size_t s = 0; s < agg_threads; ++s) {
+      for (std::size_t m = 0; m < total; ++m) {
+        engine.vote_[m] += shard_vote[s][m];
+        engine.usable_[m] += shard_usable[s][m];
+        engine.rows_[m] += shard_rows[s][m];
+      }
+    }
+  } else {
+    // Plain key column: one message per non-NULL key row, fused with the
+    // vote computation in a single sharded pass (vote 0 = unusable row, so
+    // the tally can add it unconditionally).
+    const ColumnReader key_reader(store, key_col);
+    engine.arena_.resize(threads);
+    engine.bounds_.assign(threads, std::vector<std::size_t>{0});
+    std::vector<std::vector<std::int32_t>> shard_vote(threads);
+    ParallelFor(n, threads,
+                [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                  std::vector<std::uint8_t>& arena = engine.arena_[shard];
+                  std::vector<std::size_t>& bounds = engine.bounds_[shard];
+                  std::vector<std::int32_t>& vote = shard_vote[shard];
+                  for (std::size_t j = begin; j < end; ++j) {
+                    const Value& key_value = key_reader[j];
+                    if (key_value.is_null()) continue;
+                    key_value.SerializeForHash(arena);
+                    bounds.push_back(arena.size());
+                    const std::int32_t t = target_index->index(j);
+                    vote.push_back(
+                        t < 0 ? 0
+                              : (ExtractBitFromValueIndex(
+                                     static_cast<std::size_t>(t))
+                                     ? 1
+                                     : -1));
+                  }
+                });
+    engine.msg_base_.resize(threads);
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < threads; ++s) {
+      engine.msg_base_[s] = total;
+      total += shard_vote[s].size();
+    }
+    engine.num_messages_ = total;
+    engine.vote_.reserve(total);
+    for (std::size_t s = 0; s < threads; ++s) {
+      engine.vote_.insert(engine.vote_.end(), shard_vote[s].begin(),
+                          shard_vote[s].end());
+    }
+  }
+
+  engine.plan_build_seconds_ = SecondsSince(start);
+  return engine;
+}
+
+void DetectEngine::TallyShard(std::size_t shard, const KeyedPrf& prf_k1,
+                              const KeyedPrf& prf_k2,
+                              const WatermarkParams& params,
+                              std::size_t payload_len,
+                              std::vector<long>& votes,
+                              std::size_t& usable_votes,
+                              std::size_t& fit_tuples,
+                              Scratch& scratch) const {
+  const std::vector<std::uint8_t>& arena = arena_[shard];
+  const std::vector<std::size_t>& bounds = bounds_[shard];
+  const std::size_t num_msgs = bounds.size() - 1;
+  const std::size_t base = msg_base_[shard];
+  const DivisibilityCheck fit_by_e(params.e);
+  const std::span<const std::size_t> bounds_span(bounds);
+
+  std::size_t usable = 0;
+  std::size_t fit_rows = 0;
+  for (std::size_t k = 0; k < num_msgs; k += kKeyHashBatch) {
+    const std::size_t len = std::min(kKeyHashBatch, num_msgs - k);
+    scratch.h1.resize(len);
+    prf_k1.Hash64Arena(arena.data(), bounds_span.subspan(k, len + 1),
+                       std::span<std::uint64_t>(scratch.h1));
+
+    // Gather the ~1/e fit messages of the chunk, then position-hash them
+    // in one batched k2 call over the bytes still resident in the arena.
+    scratch.fit_views.clear();
+    scratch.fit_msg.clear();
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!fit_by_e(scratch.h1[i])) continue;
+      const std::size_t m = k + i;
+      scratch.fit_views.push_back(std::string_view(
+          reinterpret_cast<const char*>(arena.data()) + bounds[m],
+          bounds[m + 1] - bounds[m]));
+      scratch.fit_msg.push_back(static_cast<std::uint32_t>(base + m));
+    }
+    scratch.h2.resize(scratch.fit_views.size());
+    prf_k2.Hash64Column(scratch.fit_views,
+                        std::span<std::uint64_t>(scratch.h2));
+
+    if (dict_keys_) {
+      for (std::size_t f = 0; f < scratch.fit_msg.size(); ++f) {
+        const std::size_t m = scratch.fit_msg[f];
+        const std::size_t idx = PayloadIndexFromHash(
+            scratch.h2[f], payload_len, params.bit_index_mode);
+        fit_rows += rows_[m];
+        usable += usable_[m];
+        votes[idx] += vote_[m];
+      }
+    } else {
+      for (std::size_t f = 0; f < scratch.fit_msg.size(); ++f) {
+        const std::size_t m = scratch.fit_msg[f];
+        const std::size_t idx = PayloadIndexFromHash(
+            scratch.h2[f], payload_len, params.bit_index_mode);
+        const std::int32_t v = vote_[m];
+        ++fit_rows;
+        usable += (v != 0);
+        votes[idx] += v;
+      }
+    }
+  }
+  usable_votes += usable;
+  fit_tuples += fit_rows;
+}
+
+Result<DetectionResult> DetectEngine::RunPass(const KeyCandidate& candidate,
+                                              std::size_t num_threads,
+                                              Scratch& scratch) const {
+  const SteadyClock::time_point start = SteadyClock::now();
+  if (candidate.wm_len == 0) {
+    return Status::InvalidArgument("watermark length must be > 0");
+  }
+  if (!candidate.keys.valid()) {
+    return Status::InvalidArgument("invalid watermark key set (k1 == k2?)");
+  }
+  if (candidate.params.e == 0) {
+    return Status::InvalidArgument("encoding parameter e must be >= 1");
+  }
+
+  DetectionResult result;
+  result.num_tuples = num_rows_;
+  std::size_t payload_len;
+  if (default_payload_length_ != 0) {
+    payload_len = default_payload_length_;
+  } else if (candidate.params.payload_length != 0) {
+    payload_len = candidate.params.payload_length;
+  } else {
+    if (num_rows_ / candidate.params.e == 0) {
+      return Status::FailedPrecondition(
+          "cannot derive the payload length: e exceeds the suspect relation "
+          "size (N/e == 0); pass the owner-side payload_length instead");
+    }
+    payload_len =
+        DerivePayloadLength(num_rows_, candidate.params.e, candidate.wm_len);
+  }
+  result.payload_length = payload_len;
+  CATMARK_ASSIGN_OR_RETURN(const PrfKind prf_kind,
+                           ResolvePrfKind(candidate.params.prf));
+  result.prf = prf_kind;
+
+  const std::unique_ptr<KeyedPrf> prf_k1 =
+      CreateKeyedPrf(prf_kind, candidate.keys.k1, candidate.params.hash_algo);
+  const std::unique_ptr<KeyedPrf> prf_k2 =
+      CreateKeyedPrf(prf_kind, candidate.keys.k2, candidate.params.hash_algo);
+
+  const std::size_t num_shards = arena_.size();
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min(num_threads, num_shards));
+  std::size_t usable_votes = 0;
+  std::size_t fit_tuples = 0;
+  if (threads <= 1) {
+    scratch.votes.assign(payload_len, 0);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      TallyShard(s, *prf_k1, *prf_k2, candidate.params, payload_len,
+                 scratch.votes, usable_votes, fit_tuples, scratch);
+    }
+  } else {
+    // Message shards tally into per-worker arrays merged by commutative
+    // integer sums — bit-identical at every thread count, like the
+    // detector always has been.
+    std::vector<std::vector<long>> worker_votes(
+        threads, std::vector<long>(payload_len, 0));
+    std::vector<std::size_t> worker_usable(threads, 0);
+    std::vector<std::size_t> worker_fit(threads, 0);
+    ParallelFor(num_shards, threads,
+                [&](std::size_t worker, std::size_t begin, std::size_t end) {
+                  Scratch local;
+                  for (std::size_t s = begin; s < end; ++s) {
+                    TallyShard(s, *prf_k1, *prf_k2, candidate.params,
+                               payload_len, worker_votes[worker],
+                               worker_usable[worker], worker_fit[worker],
+                               local);
+                  }
+                });
+    scratch.votes.assign(payload_len, 0);
+    for (std::size_t w = 0; w < threads; ++w) {
+      usable_votes += worker_usable[w];
+      fit_tuples += worker_fit[w];
+      for (std::size_t i = 0; i < payload_len; ++i) {
+        scratch.votes[i] += worker_votes[w][i];
+      }
+    }
+  }
+  result.usable_votes = usable_votes;
+  result.fit_tuples = fit_tuples;
+
+  const Status finish =
+      FinishVoteTally(std::span<const long>(scratch.votes), candidate.wm_len,
+                      candidate.params.ecc, result);
+  if (!finish.ok()) return finish;
+  result.rows_scanned = num_messages_;
+  result.wall_seconds = SecondsSince(start);
+  return result;
+}
+
+Result<DetectionResult> DetectEngine::Detect(
+    const KeyCandidate& candidate) const {
+  Scratch scratch;
+  return RunPass(candidate,
+                 EffectiveThreadCount(num_threads_, num_messages_), scratch);
+}
+
+std::vector<Result<DetectionResult>> DetectEngine::DetectMany(
+    std::span<const KeyCandidate> candidates) const {
+  std::vector<Result<DetectionResult>> results(
+      candidates.size(),
+      Result<DetectionResult>(Status::Internal("pass not run")));
+  if (candidates.empty()) return results;
+
+  // Split the worker budget keys × shards: candidates fan out first (their
+  // passes are fully independent), and leftover workers parallelize each
+  // pass's message shards.
+  const std::size_t budget = EffectiveThreadCount(num_threads_, num_rows_);
+  const std::size_t outer = std::min(budget, candidates.size());
+  const std::size_t inner = std::max<std::size_t>(1, budget / outer);
+  ParallelFor(candidates.size(), outer,
+              [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
+                Scratch scratch;
+                for (std::size_t i = begin; i < end; ++i) {
+                  results[i] = RunPass(candidates[i], inner, scratch);
+                }
+              });
+  return results;
+}
+
+}  // namespace catmark

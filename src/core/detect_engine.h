@@ -1,0 +1,165 @@
+#ifndef CATMARK_CORE_DETECT_ENGINE_H_
+#define CATMARK_CORE_DETECT_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/detector.h"
+#include "core/keys.h"
+#include "core/params.h"
+#include "relation/domain.h"
+#include "relation/relation.h"
+#include "relation/value_index_column.h"
+
+namespace catmark {
+
+/// One candidate of a multi-key detection sweep: the keys to test plus the
+/// scheme parameters that candidate claims were used at embed time (e, PRF
+/// backend, ECC, payload length — in a registry dispute each certificate
+/// brings its own) and the claimed mark length.
+struct KeyCandidate {
+  WatermarkKeySet keys;
+  WatermarkParams params;
+  std::size_t wm_len = 0;
+};
+
+/// Inputs of the key-independent half of detection. Mirrors DetectOptions
+/// minus everything per-key; the embedding-map variant stays on Detector
+/// (a map lookup is inherently per-embedding, not per-relation).
+struct DetectEngineOptions {
+  std::string key_attr;
+  std::string target_attr;
+
+  /// Domain the embedder used; copied into the engine. When neither this
+  /// nor `domain_view` is set it is recovered from the suspect data.
+  std::optional<CategoricalDomain> domain;
+
+  /// Non-owning alternative to `domain` (takes precedence). The pointee
+  /// must outlive the engine — the only external state an engine keeps.
+  const CategoricalDomain* domain_view = nullptr;
+
+  /// Optional caller-built domain-index view of the target column (one
+  /// entry per suspect row, built against the same domain as above). Only
+  /// read during Create; the engine is self-contained afterwards.
+  const ValueIndexColumn* target_index = nullptr;
+
+  /// Engine-wide payload length override. Per candidate the precedence is
+  /// this, then KeyCandidate::params.payload_length, then re-derivation
+  /// from the suspect size (which fails when N / e == 0) — the same ladder
+  /// as DetectOptions::payload_length over WatermarkParams.
+  std::size_t payload_length = 0;
+
+  /// Worker threads (0 = auto). DetectMany splits them keys × shards.
+  std::size_t num_threads = 0;
+};
+
+/// The key-agnostic detect engine: builds the per-relation half of blind
+/// detection once (the *RelationPlan*) and runs the per-key half (the
+/// *PerKeyPass*) against it for any number of candidate keys.
+///
+/// RelationPlan — everything the fitness/position hashes consume that does
+/// not depend on the key, built once at Create:
+///   - canonical key-value serialization into per-shard arenas: one
+///     prepared *message* per live distinct dictionary entry on a
+///     dictionary-encoded key column (the dict-code gather), or one per
+///     non-NULL key row on a plain column;
+///   - key-independent per-message vote aggregates from the target column's
+///     domain-index view: vote[i] = Σ over that message's rows of ±1 (the
+///     embedded bit t & 1, 0 when NULL/out-of-domain), plus usable/row
+///     counts. Integer addition commutes, so folding rows into their
+///     message *before* knowing which messages are fit is bit-identical to
+///     the row-at-a-time tally.
+///
+/// PerKeyPass — the only work repeated per candidate: chunked batched
+/// Hash64Arena over the prepared messages under k1, a divide-free
+/// H mod e == 0 fitness test, batched k2 position hashes for the ~1/e fit
+/// messages, and a branchless votes[idx] += vote[i] tally. On a
+/// repeat-heavy key column this is O(distinct keys) per candidate instead
+/// of O(N) — the entire row dimension was folded into the plan.
+///
+/// Every result is bit-identical to a standalone Detector::Detect with the
+/// same inputs, at every thread count and under every PRF backend
+/// (detect_engine_test pins the parity); Detector::Detect itself runs on
+/// this engine, so the two cannot drift. The multi-lane SIMD PRF planned
+/// next slots into the PerKeyPass via KeyedPrf::Hash64Arena without
+/// touching the plan.
+class DetectEngine {
+ public:
+  /// Builds the RelationPlan. Fails like Detector::Detect's per-relation
+  /// half: unknown attributes, empty relation, domain with < 2 values, or
+  /// a target_index whose row count does not match.
+  static Result<DetectEngine> Create(const Relation& rel,
+                                     const DetectEngineOptions& options);
+
+  DetectEngine(DetectEngine&&) = default;
+  DetectEngine& operator=(DetectEngine&&) = default;
+
+  /// One candidate through the PerKeyPass. DetectionResult::rows_scanned
+  /// counts the prepared messages hashed (the plan is amortized, not
+  /// rebuilt); wall_seconds covers just this pass.
+  Result<DetectionResult> Detect(const KeyCandidate& candidate) const;
+
+  /// Runs every candidate through the PerKeyPass, amortizing the plan
+  /// across the block and splitting the worker budget keys × shards:
+  /// candidates fan out over ParallelFor, and any leftover workers
+  /// parallelize each pass's message shards. results[i] corresponds to
+  /// candidates[i]; a bad candidate (zero wm_len, invalid keys, e == 0,
+  /// unresolvable PRF or payload length) fails that entry only.
+  std::vector<Result<DetectionResult>> DetectMany(
+      std::span<const KeyCandidate> candidates) const;
+
+  const CategoricalDomain& domain() const { return *domain_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_messages() const { return num_messages_; }
+  bool dict_keys() const { return dict_keys_; }
+  double plan_build_seconds() const { return plan_build_seconds_; }
+
+ private:
+  struct Scratch;
+
+  DetectEngine() = default;
+
+  Result<DetectionResult> RunPass(const KeyCandidate& candidate,
+                                  std::size_t num_threads,
+                                  Scratch& scratch) const;
+  void TallyShard(std::size_t shard, const KeyedPrf& prf_k1,
+                  const KeyedPrf& prf_k2, const WatermarkParams& params,
+                  std::size_t payload_len, std::vector<long>& votes,
+                  std::size_t& usable_votes, std::size_t& fit_tuples,
+                  Scratch& scratch) const;
+
+  // Resolved domain: an external view or the engine-owned copy (unique_ptr
+  // keeps the address stable across moves).
+  std::unique_ptr<CategoricalDomain> owned_domain_;
+  const CategoricalDomain* domain_ = nullptr;
+
+  std::size_t num_rows_ = 0;
+  std::size_t num_messages_ = 0;
+  std::size_t num_threads_ = 0;
+  std::size_t default_payload_length_ = 0;
+  bool dict_keys_ = false;
+  double plan_build_seconds_ = 0.0;
+
+  // RelationPlan storage, per build shard: serialized messages back to
+  // back in arena_[s], with bounds_[s] holding a leading 0 plus one
+  // end-offset per message (so any chunk hashes via a bounds subspan).
+  std::vector<std::vector<std::uint8_t>> arena_;
+  std::vector<std::vector<std::size_t>> bounds_;
+  std::vector<std::size_t> msg_base_;  ///< first global message id per shard
+
+  // Per-message aggregates, global message order (shards concatenated).
+  // On a plain key column each message is a single row: rows == 1 and
+  // usable == (vote != 0), so only vote_ is materialized.
+  std::vector<std::int32_t> vote_;
+  std::vector<std::uint32_t> usable_;
+  std::vector<std::uint32_t> rows_;
+};
+
+}  // namespace catmark
+
+#endif  // CATMARK_CORE_DETECT_ENGINE_H_

@@ -1,10 +1,12 @@
 #include "core/detector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "common/parallel.h"
 #include "core/codec.h"
+#include "core/detect_engine.h"
 #include "core/embedder.h"
 #include "core/tuple_plan.h"
 #include "ecc/code.h"
@@ -38,6 +40,27 @@ MatchStats MatchWatermark(const BitVector& expected, const BitVector& decoded) {
   return stats;
 }
 
+Status FinishVoteTally(std::span<const long> votes, std::size_t wm_len,
+                       EccKind ecc_kind, DetectionResult& result) {
+  const std::size_t payload_len = votes.size();
+  ExtractedPayload payload(payload_len);
+  result.positions_present = 0;
+  for (std::size_t i = 0; i < payload_len; ++i) {
+    if (votes[i] == 0) continue;  // erased or tied — leave absent
+    payload.present.Set(i, 1);
+    payload.bits.Set(i, votes[i] > 0 ? 1 : 0);
+    ++result.positions_present;
+  }
+  result.payload_fill = payload_len == 0
+                            ? 0.0
+                            : static_cast<double>(result.positions_present) /
+                                  static_cast<double>(payload_len);
+  const std::unique_ptr<ErrorCorrectingCode> ecc = CreateEcc(ecc_kind);
+  CATMARK_ASSIGN_OR_RETURN(result.wm, ecc->Decode(payload, wm_len));
+  result.bit_confidence = ecc->DecodeConfidence(payload, wm_len);
+  return Status::OK();
+}
+
 Detector::Detector(WatermarkKeySet keys, WatermarkParams params)
     : keys_(std::move(keys)), params_(params) {
   CATMARK_CHECK(keys_.valid()) << "invalid watermark key set (k1 == k2?)";
@@ -47,9 +70,47 @@ Detector::Detector(WatermarkKeySet keys, WatermarkParams params)
 Result<DetectionResult> Detector::Detect(const Relation& rel,
                                          const DetectOptions& options,
                                          std::size_t wm_len) const {
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
   if (wm_len == 0) {
     return Status::InvalidArgument("watermark length must be > 0");
   }
+
+  const bool use_map = options.embedding_map != nullptr;
+  if (!use_map) {
+    // The k2 position path runs on the key-agnostic engine: the
+    // RelationPlan half (serialization, dict-code gather, domain/index
+    // view) is what a sweep builds once, and the PerKeyPass half is this
+    // one key. Building both inside one call keeps the classic one-shot
+    // API while guaranteeing a sweep's per-candidate results cannot drift
+    // from standalone detection — they are the same code.
+    DetectEngineOptions engine_options;
+    engine_options.key_attr = options.key_attr;
+    engine_options.target_attr = options.target_attr;
+    engine_options.domain_view = options.domain_view != nullptr
+                                     ? options.domain_view
+                                     : (options.domain.has_value()
+                                            ? &*options.domain
+                                            : nullptr);
+    engine_options.target_index = options.target_index;
+    engine_options.payload_length = options.payload_length;
+    engine_options.num_threads = params_.num_threads;
+    CATMARK_ASSIGN_OR_RETURN(DetectEngine engine,
+                             DetectEngine::Create(rel, engine_options));
+    const KeyCandidate candidate{keys_, params_, wm_len};
+    CATMARK_ASSIGN_OR_RETURN(DetectionResult result,
+                             engine.Detect(candidate));
+    // One-shot call: the plan was built inside it, so the whole relation
+    // was scanned and the full wall time belongs to this detection.
+    result.rows_scanned = rel.NumRows();
+    result.wall_seconds = elapsed();
+    return result;
+  }
+
   CATMARK_ASSIGN_OR_RETURN(
       const std::size_t key_col,
       rel.schema().ColumnIndexOrError(options.key_attr));
@@ -96,16 +157,15 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
   }
   result.payload_length = payload_len;
 
-  // Parallel precompute shared with the embedder: per-row fitness hash and
-  // (on the k2 path) payload index, all through the resolved keyed-PRF
-  // backend — which must be the embed-time one, or every fitness verdict
-  // differs and the mark reads as destroyed.
+  // Embedding-map (Figure 2(b)) detection: the per-row fitness precompute
+  // still runs through the shared tuple plan, but positions come from the
+  // map, not k2 — inherently per-embedding state, so this path stays off
+  // the key-agnostic engine.
   const std::size_t threads =
       EffectiveThreadCount(params_.num_threads, rel.NumRows());
-  const bool use_map = options.embedding_map != nullptr;
   TuplePlanOptions plan_options;
   plan_options.payload_len = payload_len;
-  plan_options.with_payload_index = !use_map;
+  plan_options.with_payload_index = false;
   plan_options.num_threads = threads;
   CATMARK_ASSIGN_OR_RETURN(plan_options.prf, ResolvePrfKind(params_.prf));
   result.prf = plan_options.prf;
@@ -133,10 +193,8 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
   // Map-based detection resolves every fit tuple's key in one batch pass up
   // front: one reused scratch buffer, heterogeneous string_view probes — no
   // per-tuple key allocation inside the tally loop.
-  std::vector<std::uint64_t> map_index;
-  if (use_map) {
-    map_index = options.embedding_map->LookupColumn(rel, key_col, &plan.fit);
-  }
+  const std::vector<std::uint64_t> map_index =
+      options.embedding_map->LookupColumn(rel, key_col, &plan.fit);
 
   // Per-position vote tallies: multiple fit tuples can map to the same
   // wm_data position; they all embedded the same bit, so majority-per-
@@ -153,16 +211,11 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
     std::size_t usable = 0;
     for (std::size_t j = begin; j < end; ++j) {
       if (!plan.fit[j]) continue;
-      std::size_t idx;
-      if (use_map) {
-        const std::uint64_t found = map_index[j];
-        if (found == EmbeddingMap::kNotFound) {
-          continue;  // e.g. tuple added by Mallory
-        }
-        idx = static_cast<std::size_t>(found) % payload_len;
-      } else {
-        idx = plan.payload_index[j];
+      const std::uint64_t found = map_index[j];
+      if (found == EmbeddingMap::kNotFound) {
+        continue;  // e.g. tuple added by Mallory
       }
+      const std::size_t idx = static_cast<std::size_t>(found) % payload_len;
       // Determine t such that T_j(A) = a_t, then read the embedded bit
       // t & 1; NULL and out-of-domain values (A6 remap, noise) are unusable.
       std::int32_t t;
@@ -171,9 +224,9 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
       } else {
         const Value& attr_value = rel.Get(j, target_col);
         if (attr_value.is_null()) continue;
-        const auto found = domain.IndexOf(attr_value);
-        t = found.has_value() ? static_cast<std::int32_t>(*found)
-                              : ValueIndexColumn::kNoIndex;
+        const auto domain_index = domain.IndexOf(attr_value);
+        t = domain_index.has_value() ? static_cast<std::int32_t>(*domain_index)
+                                     : ValueIndexColumn::kNoIndex;
       }
       if (t < 0) continue;
       ++usable;
@@ -191,21 +244,11 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
     }
   }
 
-  ExtractedPayload payload(payload_len);
-  for (std::size_t i = 0; i < payload_len; ++i) {
-    if (votes[i] == 0) continue;  // erased or tied — leave absent
-    payload.present.Set(i, 1);
-    payload.bits.Set(i, votes[i] > 0 ? 1 : 0);
-    ++result.positions_present;
-  }
-  result.payload_fill = payload_len == 0
-                            ? 0.0
-                            : static_cast<double>(result.positions_present) /
-                                  static_cast<double>(payload_len);
-
-  const std::unique_ptr<ErrorCorrectingCode> ecc = CreateEcc(params_.ecc);
-  CATMARK_ASSIGN_OR_RETURN(result.wm, ecc->Decode(payload, wm_len));
-  result.bit_confidence = ecc->DecodeConfidence(payload, wm_len);
+  const Status finish = FinishVoteTally(std::span<const long>(votes), wm_len,
+                                        params_.ecc, result);
+  if (!finish.ok()) return finish;
+  result.rows_scanned = rel.NumRows();
+  result.wall_seconds = elapsed();
   return result;
 }
 

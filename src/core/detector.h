@@ -2,6 +2,7 @@
 #define CATMARK_CORE_DETECTOR_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,15 @@ struct DetectionResult {
   /// configured ECC has no confidence notion). Court-facing evidence
   /// quality: 1.0 = unanimous votes, 0.0 = fully erased / tied.
   std::vector<double> bit_confidence;
+
+  /// Wall-clock seconds this detection call took, and how many prepared
+  /// units it actually pushed through the PRF: a one-shot Detector::Detect
+  /// scans every suspect row (rows_scanned == num_tuples), while a
+  /// DetectEngine per-key pass only re-hashes the plan's prepared messages
+  /// (one per distinct live key on a dictionary-encoded key column) — the
+  /// amortization a sweep ranks and benches by, from one accounting source.
+  double wall_seconds = 0.0;
+  std::size_t rows_scanned = 0;
 };
 
 /// Agreement between an expected and a decoded watermark, with the
@@ -96,6 +106,14 @@ struct MatchStats {
 /// reported via MatchStats::length_mismatch and scored against the longer
 /// vector instead).
 MatchStats MatchWatermark(const BitVector& expected, const BitVector& decoded);
+
+/// Turns a merged per-position vote tally (votes.size() == payload length)
+/// into the decoded-payload fields of `result`: positions_present,
+/// payload_fill, wm and bit_confidence. Shared by the Detector's
+/// embedding-map path and the DetectEngine per-key pass so the two tally
+/// consumers cannot drift apart.
+Status FinishVoteTally(std::span<const long> votes, std::size_t wm_len,
+                       EccKind ecc, DetectionResult& result);
 
 /// wm_decode (Figure 2): blind watermark detection.
 class Detector {

@@ -117,6 +117,17 @@ class SipHash24Prf final : public KeyedPrf {
     }
   }
 
+  void Hash64Arena(const std::uint8_t* arena,
+                   std::span<const std::size_t> bounds,
+                   std::span<std::uint64_t> out) const override {
+    CATMARK_CHECK_EQ(bounds.size(), out.size() + 1);
+    const std::uint64_t k0 = k0_;
+    const std::uint64_t k1 = k1_;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = SipHash24(k0, k1, arena + bounds[i], bounds[i + 1] - bounds[i]);
+    }
+  }
+
  private:
   std::uint64_t k0_ = 0;
   std::uint64_t k1_ = 0;
@@ -169,6 +180,15 @@ void KeyedPrf::Hash64Column(std::span<const std::string_view> inputs,
   CATMARK_CHECK_EQ(inputs.size(), out.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     out[i] = Hash64(inputs[i]);
+  }
+}
+
+void KeyedPrf::Hash64Arena(const std::uint8_t* arena,
+                           std::span<const std::size_t> bounds,
+                           std::span<std::uint64_t> out) const {
+  CATMARK_CHECK_EQ(bounds.size(), out.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = Hash64(arena + bounds[i], bounds[i + 1] - bounds[i]);
   }
 }
 

@@ -85,6 +85,18 @@ class KeyedPrf {
   /// the reference the override must stay bit-identical to.
   virtual void Hash64Column(std::span<const std::string_view> inputs,
                             std::span<std::uint64_t> out) const;
+
+  /// Arena batch form: message i occupies arena bytes [bounds[i],
+  /// bounds[i + 1]), so `bounds.size()` must be `out.size() + 1`.
+  /// Bit-identical to Hash64Column over the equivalent views, but takes the
+  /// (arena, offsets) layout batch producers already hold — any subrange of
+  /// a prepared message block hashes via a bounds subspan with no per-chunk
+  /// string_view materialization. This contiguous layout is also where a
+  /// multi-lane SIMD backend slots in: several messages per call, no
+  /// pointer chasing.
+  virtual void Hash64Arena(const std::uint8_t* arena,
+                           std::span<const std::size_t> bounds,
+                           std::span<std::uint64_t> out) const;
 };
 
 /// Builds a backend instance over `key`. `algo` is only consulted by

@@ -14,6 +14,18 @@
 // --prf selects the keyed-PRF backend (default: the CATMARK_PRF environment
 // variable, else the paper's keyed hash). Embed and detect must agree;
 // certificates record the backend, so --certificate detection needs no flag.
+//   catmark sweep   --in suspect.csv --schema <spec>
+//                   ( --certs <dir>              # NAME.cert + NAME.key pairs
+//                   | --certificate cert.txt --keys keyfile.txt )
+//                   [--alpha 0.001] [--top 10] [--threads N]
+//
+// `sweep` answers "whose mark is this relation carrying?": every candidate
+// certificate/key pair runs through one shared key-agnostic detect plan
+// (DetectEngine::DetectMany) and the report ranks candidates by detection
+// confidence. With --certs, each NAME.cert in the directory is a candidate
+// whose passphrase sits in the sibling NAME.key; with --keys, one
+// certificate is tested against `id:passphrase` lines. Exit 0 when the top
+// candidate's claim is supported, 2 otherwise.
 //   catmark attack  --in marked.csv --out attacked.csv --schema <spec>
 //                   --type alter|subset|add|shuffle|remap
 //                   [--column A] [--fraction 0.3] [--seed 1]
@@ -44,6 +56,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -264,6 +277,18 @@ int RunEmbed(const Flags& flags) {
   return 0;
 }
 
+// Shared wall-time / rows-scanned line: the same DetectionResult accounting
+// fields the sweep ranking and the bench rows read.
+void PrintDetectionCost(const DetectionResult& detection) {
+  const double ms = detection.wall_seconds * 1e3;
+  const double tps = detection.wall_seconds > 0.0
+                         ? static_cast<double>(detection.rows_scanned) /
+                               detection.wall_seconds
+                         : 0.0;
+  std::printf("scanned %zu rows in %.2f ms (%.2fM rows/s)\n",
+              detection.rows_scanned, ms, tps / 1e6);
+}
+
 int RunDetectWithCertificate(const Flags& flags) {
   Result<Relation> rel = LoadInput(flags);
   if (!rel.ok()) return Fail(rel.status().ToString());
@@ -280,6 +305,7 @@ int RunDetectWithCertificate(const Flags& flags) {
       rel.value(), cert.value(), WatermarkKeySet::FromPassphrase(key),
       flags.GetDouble("alpha", 1e-3));
   if (!result.ok()) return Fail(result.status().ToString());
+  PrintDetectionCost(result->detection);
   std::printf(
       "key commitment verified; matched %zu/%zu bits (threshold %zu), "
       "p-value %.3e\nownership claim: %s\n",
@@ -325,6 +351,7 @@ int RunDetect(const Flags& flags) {
                  "added/removed since embedding (see the embed report)\n",
                  detection->payload_length);
   }
+  PrintDetectionCost(detection.value());
   std::printf("decoded mark : %s\n", detection->wm.ToString().c_str());
   std::printf("owner's mark : %s\n", wm.value().ToString().c_str());
   std::printf(
@@ -334,6 +361,160 @@ int RunDetect(const Flags& flags) {
   std::printf("ownership claim: %s\n",
               decision.owned ? "SUPPORTED" : "NOT SUPPORTED");
   return decision.owned ? 0 : 2;
+}
+
+// ------------------------------------------------------------------- sweep
+
+Result<WatermarkCertificate> LoadCertificateFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot read " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return WatermarkCertificate::Deserialize(ss.str());
+}
+
+// First non-empty, non-comment line of a keyfile — the passphrase.
+Result<std::string> LoadPassphraseFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot read " + path);
+  std::string line;
+  while (std::getline(f, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    return line;
+  }
+  return Status::InvalidArgument("no passphrase in " + path);
+}
+
+// --certs <dir>: every NAME.cert file in the directory is one candidate,
+// with its passphrase in the sibling NAME.key — the registry-directory
+// layout an ownership-dispute service keeps per customer.
+Result<std::vector<OwnershipCandidate>> CollectCertDirCandidates(
+    const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::NotFound("cannot list " + dir + ": " + ec.message());
+  }
+  std::vector<std::filesystem::path> certs;
+  for (const std::filesystem::directory_entry& entry : it) {
+    if (entry.path().extension() == ".cert") certs.push_back(entry.path());
+  }
+  std::sort(certs.begin(), certs.end());
+  std::vector<OwnershipCandidate> candidates;
+  for (const std::filesystem::path& path : certs) {
+    OwnershipCandidate candidate;
+    candidate.id = path.stem().string();
+    Result<WatermarkCertificate> cert = LoadCertificateFile(path.string());
+    if (!cert.ok()) return cert.status();
+    candidate.certificate = std::move(cert.value());
+    std::filesystem::path keyfile = path;
+    keyfile.replace_extension(".key");
+    Result<std::string> passphrase = LoadPassphraseFile(keyfile.string());
+    if (!passphrase.ok()) return passphrase.status();
+    candidate.keys = WatermarkKeySet::FromPassphrase(passphrase.value());
+    candidates.push_back(std::move(candidate));
+  }
+  return candidates;
+}
+
+// --certificate <file> --keys <file>: one certificate, many claimed keys —
+// `id:passphrase` per line (bare lines get a line-number id). The "which of
+// these leaked keys marked this dump?" workload.
+Result<std::vector<OwnershipCandidate>> CollectKeyfileCandidates(
+    const std::string& cert_path, const std::string& keys_path) {
+  Result<WatermarkCertificate> cert = LoadCertificateFile(cert_path);
+  if (!cert.ok()) return cert.status();
+  std::ifstream f(keys_path);
+  if (!f) return Status::NotFound("cannot read " + keys_path);
+  std::vector<OwnershipCandidate> candidates;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    OwnershipCandidate candidate;
+    const std::size_t colon = line.find(':');
+    std::string passphrase;
+    if (colon == std::string::npos) {
+      candidate.id = "key#" + std::to_string(lineno);
+      passphrase = line;
+    } else {
+      candidate.id = line.substr(0, colon);
+      passphrase = line.substr(colon + 1);
+    }
+    if (passphrase.empty()) {
+      return Status::InvalidArgument("empty passphrase at " + keys_path +
+                                     ":" + std::to_string(lineno));
+    }
+    candidate.certificate = cert.value();
+    candidate.keys = WatermarkKeySet::FromPassphrase(passphrase);
+    candidates.push_back(std::move(candidate));
+  }
+  return candidates;
+}
+
+int RunSweep(const Flags& flags) {
+  Result<Relation> rel = LoadInput(flags);
+  if (!rel.ok()) return Fail(rel.status().ToString());
+  Result<std::vector<OwnershipCandidate>> candidates =
+      Status::InvalidArgument(
+          "sweep needs --certs <dir>, or --certificate <file> with "
+          "--keys <file>");
+  if (flags.Has("certs")) {
+    candidates = CollectCertDirCandidates(flags.Get("certs"));
+  } else if (flags.Has("certificate") && flags.Has("keys")) {
+    candidates = CollectKeyfileCandidates(flags.Get("certificate"),
+                                          flags.Get("keys"));
+  }
+  if (!candidates.ok()) return Fail(candidates.status().ToString());
+  if (candidates->empty()) return Fail("no sweep candidates found");
+
+  ServiceOptions service_options;
+  service_options.num_threads =
+      static_cast<std::size_t>(flags.GetUint("threads", 0));
+  const WatermarkService service(service_options);
+  Result<SweepReport> report = service.SweepOwnership(
+      rel.value(), std::span<const OwnershipCandidate>(candidates.value()),
+      flags.GetDouble("alpha", 1e-3));
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  for (const auto& [id, status] : report->failed) {
+    std::fprintf(stderr, "catmark: warning: candidate %s failed: %s\n",
+                 id.c_str(), status.ToString().c_str());
+  }
+  const double per_key_ms = report->ranked.empty()
+                                ? 0.0
+                                : report->wall_seconds * 1e3 /
+                                      static_cast<double>(
+                                          report->ranked.size());
+  std::printf(
+      "swept %zu candidates over %zu tuples (%zu plans, %zu messages "
+      "hashed) in %.2f ms — %.4f ms/key\n",
+      candidates->size(), rel.value().NumRows(), report->plans_built,
+      report->rows_scanned, report->wall_seconds * 1e3, per_key_ms);
+
+  const std::size_t top =
+      std::min<std::size_t>(flags.GetUint("top", 10), report->ranked.size());
+  std::printf("%-5s %-24s %-14s %9s %11s %10s\n", "rank", "candidate",
+              "verdict", "bits", "p-value", "commitment");
+  for (std::size_t i = 0; i < top; ++i) {
+    const SweepMatch& match = report->ranked[i];
+    std::printf("%-5zu %-24s %-14s %4zu/%-4zu %11.3e %10s\n", i + 1,
+                match.id.c_str(),
+                match.decision.owned ? "SUPPORTED" : "not supported",
+                match.decision.matched_bits, match.detection.wm.size(),
+                match.decision.p_value,
+                match.commitment_verified ? "verified" : "MISMATCH");
+  }
+  if (top < report->ranked.size()) {
+    std::printf("... %zu more (raise --top to see them)\n",
+                report->ranked.size() - top);
+  }
+  const bool any_owned =
+      !report->ranked.empty() && report->ranked.front().decision.owned;
+  return any_owned ? 0 : 2;
 }
 
 int RunAttack(const Flags& flags) {
@@ -496,7 +677,8 @@ int RunConvert(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: catmark <gen|embed|detect|attack|bandwidth|stream|convert> "
+      "usage: catmark "
+      "<gen|embed|detect|sweep|attack|bandwidth|stream|convert> "
       "[--flags]\n"
       "see the header of tools/catmark_cli.cc for full flag reference\n");
   return 1;
@@ -509,6 +691,7 @@ int Main(int argc, char** argv) {
   if (command == "gen") return RunGen(flags);
   if (command == "embed") return RunEmbed(flags);
   if (command == "detect") return RunDetect(flags);
+  if (command == "sweep") return RunSweep(flags);
   if (command == "attack") return RunAttack(flags);
   if (command == "bandwidth") return RunBandwidth(flags);
   if (command == "stream") return RunStream(flags);
