@@ -31,6 +31,7 @@
 #include "core/detect_engine.h"
 #include "core/detector.h"
 #include "core/embedder.h"
+#include "crypto/siphash_simd.h"
 #include "ecc/code.h"
 #include "exp/harness.h"
 #include "gen/sales_gen.h"
@@ -319,6 +320,95 @@ int Run(const ExperimentConfig& config) {
       prf_detect[0].serial_tps > 0.0
           ? prf_detect[kNumPrfs - 1].serial_tps / prf_detect[0].serial_tps
           : 0.0;
+
+  // SIMD dispatch + one-shot engine rows (siphash24, single thread). Two
+  // stories in one embedding:
+  //   detect_simd_*   — the identical fused one-shot detect timed at the
+  //                     ambient dispatch level versus forced scalar, with
+  //                     the verdicts checked bit-identical (the SIMD lanes
+  //                     are a throughput knob, never a result knob);
+  //   one-shot vs plan — Detector::Detect (the fused single-candidate path)
+  //                     back-to-back against DetectEngine::Create + Detect
+  //                     (the multi-candidate plan-then-pass split), pinning
+  //                     the fused path's "no regression for the single-key
+  //                     caller" guarantee in the per-PR artifact.
+  WatermarkParams simd_params = serial_params;
+  simd_params.prf = PrfKind::kSipHash24;
+  Relation simd_marked = original;
+  Result<EmbedReport> simd_embed =
+      Embedder(keys, simd_params).Embed(simd_marked, embed_options, wm);
+  CATMARK_CHECK(simd_embed.ok()) << simd_embed.status().ToString();
+  DetectOptions simd_options = detect_options;
+  simd_options.payload_length = simd_embed.value().payload_length;
+  simd_options.domain = simd_embed.value().domain;
+
+  const std::string simd_level_name(SimdLevelName(ActiveSimdLevel()));
+  double detect_simd_tps = 0.0;
+  double detect_simd_scalar_tps = 0.0;
+  double plan_pass_tps = 0.0;
+  DetectionResult simd_ref;
+  for (std::size_t pass = 0; pass < config.passes; ++pass) {
+    {
+      const auto start = Clock::now();
+      Result<DetectionResult> r = Detector(keys, simd_params)
+                                      .Detect(simd_marked, simd_options,
+                                              wm.size());
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      simd_ref = std::move(r).value();
+      if (n / secs > detect_simd_tps) detect_simd_tps = n / secs;
+    }
+    {
+      ForceSimdLevel(SimdLevel::kScalar);
+      const auto start = Clock::now();
+      Result<DetectionResult> r = Detector(keys, simd_params)
+                                      .Detect(simd_marked, simd_options,
+                                              wm.size());
+      const double secs = SecondsSince(start);
+      ForceSimdLevel(std::nullopt);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      CATMARK_CHECK(r.value().wm == simd_ref.wm)
+          << "scalar dispatch decoded a different mark than "
+          << simd_level_name;
+      CATMARK_CHECK_EQ(r.value().usable_votes, simd_ref.usable_votes)
+          << "scalar dispatch tallied different votes than "
+          << simd_level_name;
+      if (n / secs > detect_simd_scalar_tps) {
+        detect_simd_scalar_tps = n / secs;
+      }
+    }
+    {
+      KeyCandidate candidate;
+      candidate.keys = keys;
+      candidate.params = simd_params;
+      candidate.params.payload_length = simd_embed.value().payload_length;
+      candidate.wm_len = wm.size();
+      DetectEngineOptions engine_options;
+      engine_options.key_attr = "K";
+      engine_options.target_attr = "A";
+      engine_options.domain_view = &*simd_options.domain;
+      engine_options.payload_length = simd_embed.value().payload_length;
+      engine_options.num_threads = 1;
+      const auto start = Clock::now();
+      Result<DetectEngine> engine =
+          DetectEngine::Create(simd_marked, engine_options);
+      CATMARK_CHECK(engine.ok()) << engine.status().ToString();
+      Result<DetectionResult> r = engine.value().Detect(candidate);
+      const double secs = SecondsSince(start);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      CATMARK_CHECK(r.value().wm == simd_ref.wm)
+          << "plan-then-pass decoded a different mark than one-shot";
+      CATMARK_CHECK_EQ(r.value().usable_votes, simd_ref.usable_votes)
+          << "plan-then-pass tallied different votes than one-shot";
+      if (n / secs > plan_pass_tps) plan_pass_tps = n / secs;
+    }
+  }
+  const double detect_simd_gain = detect_simd_scalar_tps > 0.0
+                                      ? detect_simd_tps /
+                                            detect_simd_scalar_tps
+                                      : 0.0;
+  const double oneshot_vs_plan_gain =
+      plan_pass_tps > 0.0 ? detect_simd_tps / plan_pass_tps : 0.0;
 
   // Plan-build microstage: domain recovery + the domain-index view of the
   // target column. On the columnar store both are O(dictionary) — sub-
@@ -720,6 +810,22 @@ int Run(const ExperimentConfig& config) {
   PrintTableRow(
       {"plan/index (ms)", FormatDouble(index_ms, 3), "-", "-", "1"});
 
+  PrintTableTitle("detect SIMD dispatch + one-shot engine (siphash24, "
+                  "single thread, tuples/sec)");
+  PrintTableHeader({"stage", "tuples/sec", "", "", ""});
+  PrintTableRow({"detect_simd_" + simd_level_name,
+                 FormatDouble(detect_simd_tps, 0), "", "", ""});
+  PrintTableRow({"detect_simd_off", FormatDouble(detect_simd_scalar_tps, 0),
+                 "", "", ""});
+  PrintTableRow({"detect_simd_gain", FormatDouble(detect_simd_gain, 2) + "x",
+                 "(" + simd_level_name + " / scalar)", "", ""});
+  PrintTableRow({"one-shot fused", FormatDouble(detect_simd_tps, 0),
+                 "", "", ""});
+  PrintTableRow({"plan-then-pass", FormatDouble(plan_pass_tps, 0),
+                 "(Create + Detect)", "", ""});
+  PrintTableRow({"one-shot gain", FormatDouble(oneshot_vs_plan_gain, 2) + "x",
+                 "(fused / plan-then-pass)", "", ""});
+
   PrintTableTitle("on-disk format: load and load->detect throughput "
                   "(tuples/sec, best of passes; siphash24 PRF)");
   PrintTableHeader({"stage", "csv", "catm", "gain", "bytes"});
@@ -795,6 +901,13 @@ int Run(const ExperimentConfig& config) {
         "  \"detect_prf_siphash24_serial_tps\": %.0f,\n"
         "  \"detect_prf_siphash24_parallel_tps\": %.0f,\n"
         "  \"detect_prf_fast_gain\": %.3f,\n"
+        "  \"simd_level\": \"%s\",\n"
+        "  \"detect_simd_serial_tps\": %.0f,\n"
+        "  \"detect_simd_scalar_serial_tps\": %.0f,\n"
+        "  \"detect_simd_gain\": %.3f,\n"
+        "  \"detect_oneshot_serial_tps\": %.0f,\n"
+        "  \"detect_plan_pass_serial_tps\": %.0f,\n"
+        "  \"detect_oneshot_gain\": %.3f,\n"
         "  \"index_build_ms\": %.4f,\n"
         "  \"load_csv_tps\": %.0f,\n"
         "  \"load_csv_parallel_tps\": %.0f,\n"
@@ -827,7 +940,10 @@ int Run(const ExperimentConfig& config) {
         detect.parallel_tps, detect.speedup, prf_detect[0].serial_tps,
         prf_detect[0].parallel_tps, prf_detect[1].serial_tps,
         prf_detect[1].parallel_tps, prf_detect[2].serial_tps,
-        prf_detect[2].parallel_tps, prf_fast_gain, index_ms, load_csv_tps,
+        prf_detect[2].parallel_tps, prf_fast_gain, simd_level_name.c_str(),
+        detect_simd_tps, detect_simd_scalar_tps, detect_simd_gain,
+        detect_simd_tps, plan_pass_tps, oneshot_vs_plan_gain, index_ms,
+        load_csv_tps,
         load_csv_parallel_tps, load_catm_tps, e2e_csv_tps, e2e_catm_tps,
         e2e_format_gain, csv_bytes, catm_bytes, stream_n,
         stream_s1_tps[0], stream_s1_tps[1], stream_s1_tps[2],

@@ -50,9 +50,9 @@ union = numeric_keys(baseline) | numeric_keys(current)
 
 # Preferred ordering groups rows by pipeline stage; anything the prefixes
 # don't cover (future rows) trails alphabetically rather than vanishing.
-PREFIX_ORDER = ["embed_map_", "embed_", "detect_prf_", "detect_",
-                "index_", "load_", "e2e_", "csv_", "catm_", "stream_",
-                "sweep_"]
+PREFIX_ORDER = ["embed_map_", "embed_", "detect_prf_", "detect_simd_",
+                "detect_oneshot_", "detect_plan_", "detect_", "index_",
+                "load_", "e2e_", "csv_", "catm_", "stream_", "sweep_"]
 
 def sort_key(key):
     for rank, prefix in enumerate(PREFIX_ORDER):

@@ -87,6 +87,14 @@ class DivisibilityCheck {
     return (h & pow2_mask_) == 0 && h * odd_inv_ <= odd_limit_;
   }
 
+  /// The precomputed constants, exposed so batch kernels can vectorize the
+  /// same test (see DivisibilityMask64 in crypto/siphash_simd.h): h is
+  /// divisible iff (h & pow2_mask()) == 0 and h * odd_inv() <= odd_limit(),
+  /// with the multiply taken mod 2^64 and the compare unsigned.
+  constexpr std::uint64_t odd_inv() const { return odd_inv_; }
+  constexpr std::uint64_t odd_limit() const { return odd_limit_; }
+  constexpr std::uint64_t pow2_mask() const { return pow2_mask_; }
+
  private:
   std::uint64_t pow2_mask_ = 0;
   std::uint64_t odd_inv_ = 1;

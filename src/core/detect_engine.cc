@@ -1,7 +1,9 @@
 #include "core/detect_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cstring>
 #include <limits>
 
 #include "common/bits.h"
@@ -11,6 +13,7 @@
 #include "core/embedder.h"
 #include "core/tuple_plan.h"
 #include "crypto/prf.h"
+#include "crypto/siphash_simd.h"
 #include "relation/column_store.h"
 
 namespace catmark {
@@ -34,9 +37,74 @@ struct DetectEngine::Scratch {
   std::vector<long> votes;
   std::vector<std::uint64_t> h1;
   std::vector<std::uint64_t> h2;
+  std::vector<std::uint64_t> fit_mask;
   std::vector<std::string_view> fit_views;
   std::vector<std::uint32_t> fit_msg;
 };
+
+namespace {
+
+/// Scans a built plan's shard bounds for the equal-length layout: returns
+/// the common message length when every message in every shard serialized
+/// to the same byte count (and there is at least one message), -1 otherwise.
+/// Candidate sanity shared by RunPass and DetectOneShot — one source, so
+/// the fused and planned paths cannot drift on what they reject.
+Status ValidateCandidate(const KeyCandidate& candidate) {
+  if (candidate.wm_len == 0) {
+    return Status::InvalidArgument("watermark length must be > 0");
+  }
+  if (!candidate.keys.valid()) {
+    return Status::InvalidArgument("invalid watermark key set (k1 == k2?)");
+  }
+  if (candidate.params.e == 0) {
+    return Status::InvalidArgument("encoding parameter e must be >= 1");
+  }
+  return Status::OK();
+}
+
+/// The payload-length precedence ladder shared by RunPass and
+/// DetectOneShot: engine/options override, then the candidate's claimed
+/// params, then re-derivation from the suspect size.
+Result<std::size_t> ResolveDetectPayloadLength(std::size_t override_len,
+                                               const KeyCandidate& candidate,
+                                               std::size_t num_rows) {
+  if (override_len != 0) return override_len;
+  if (candidate.params.payload_length != 0) {
+    return candidate.params.payload_length;
+  }
+  if (num_rows / candidate.params.e == 0) {
+    return Status::FailedPrecondition(
+        "cannot derive the payload length: e exceeds the suspect relation "
+        "size (N/e == 0); pass the owner-side payload_length instead");
+  }
+  return DerivePayloadLength(num_rows, candidate.params.e, candidate.wm_len);
+}
+
+/// Chunk size of the fused one-shot worker. Larger than the sweep's
+/// kKeyHashBatch: the one-shot pass touches each chunk exactly once, so
+/// per-chunk fixed costs (kernel ramp-up, resizes, two virtual calls)
+/// amortize better, and the working set (8-byte vals + 8-byte hashes per
+/// row) stays comfortably L2-resident even at this size.
+constexpr std::size_t kOneShotBatch = 4096;
+
+std::ptrdiff_t DetectFixedLength(
+    const std::vector<std::vector<std::size_t>>& bounds) {
+  std::ptrdiff_t len = -1;
+  for (const std::vector<std::size_t>& shard : bounds) {
+    for (std::size_t i = 0; i + 1 < shard.size(); ++i) {
+      const std::ptrdiff_t msg_len =
+          static_cast<std::ptrdiff_t>(shard[i + 1] - shard[i]);
+      if (len < 0) {
+        len = msg_len;
+      } else if (msg_len != len) {
+        return -1;
+      }
+    }
+  }
+  return len;
+}
+
+}  // namespace
 
 Result<DetectEngine> DetectEngine::Create(const Relation& rel,
                                           const DetectEngineOptions& options) {
@@ -218,6 +286,7 @@ Result<DetectEngine> DetectEngine::Create(const Relation& rel,
     }
   }
 
+  engine.fixed_len_ = DetectFixedLength(engine.bounds_);
   engine.plan_build_seconds_ = SecondsSince(start);
   return engine;
 }
@@ -236,34 +305,59 @@ void DetectEngine::TallyShard(std::size_t shard, const KeyedPrf& prf_k1,
   const std::size_t base = msg_base_[shard];
   const DivisibilityCheck fit_by_e(params.e);
   const std::span<const std::size_t> bounds_span(bounds);
+  const bool fixed = fixed_len_ >= 0;
+  const std::size_t fixed_len = fixed ? static_cast<std::size_t>(fixed_len_)
+                                      : 0;
 
   std::size_t usable = 0;
   std::size_t fit_rows = 0;
   for (std::size_t k = 0; k < num_msgs; k += kKeyHashBatch) {
     const std::size_t len = std::min(kKeyHashBatch, num_msgs - k);
     scratch.h1.resize(len);
-    prf_k1.Hash64Arena(arena.data(), bounds_span.subspan(k, len + 1),
-                       std::span<std::uint64_t>(scratch.h1));
-
-    // Gather the ~1/e fit messages of the chunk, then position-hash them
-    // in one batched k2 call over the bytes still resident in the arena.
-    scratch.fit_views.clear();
-    scratch.fit_msg.clear();
-    for (std::size_t i = 0; i < len; ++i) {
-      if (!fit_by_e(scratch.h1[i])) continue;
-      const std::size_t m = k + i;
-      scratch.fit_views.push_back(std::string_view(
-          reinterpret_cast<const char*>(arena.data()) + bounds[m],
-          bounds[m + 1] - bounds[m]));
-      scratch.fit_msg.push_back(static_cast<std::uint32_t>(base + m));
+    if (fixed) {
+      // Equal-length layout: message k + i sits at (k + i) * fixed_len, so
+      // the SIMD lanes stream at a constant stride, no bounds reads at all.
+      prf_k1.Hash64Fixed(arena.data() + k * fixed_len, fixed_len, fixed_len,
+                         std::span<std::uint64_t>(scratch.h1));
+    } else {
+      prf_k1.Hash64Arena(arena.data(), bounds_span.subspan(k, len + 1),
+                         std::span<std::uint64_t>(scratch.h1));
     }
-    scratch.h2.resize(scratch.fit_views.size());
+
+    // Compact the ~1/e fit messages of the chunk via a packed fitness
+    // bitset (the divisibility test runs AVX2-vectorized, 64 verdicts per
+    // word) and set-bit iteration — the selection loop touches only fit
+    // messages plus one word per 64 hashes — then position-hash them in
+    // one batched k2 call over the bytes still resident in the arena.
+    scratch.fit_mask.resize((len + 63) / 64);
+    DivisibilityMask64(fit_by_e, scratch.h1.data(), len,
+                       scratch.fit_mask.data());
+    scratch.fit_msg.clear();
+    for (std::size_t w = 0; w < scratch.fit_mask.size(); ++w) {
+      std::uint64_t word = scratch.fit_mask[w];
+      while (word != 0) {
+        scratch.fit_msg.push_back(static_cast<std::uint32_t>(
+            k + 64 * w + static_cast<std::size_t>(std::countr_zero(word))));
+        word &= word - 1;
+      }
+    }
+    const std::size_t nfit = scratch.fit_msg.size();
+    scratch.fit_views.clear();
+    for (std::size_t f = 0; f < nfit; ++f) {
+      const std::size_t m = scratch.fit_msg[f];
+      const std::size_t at = fixed ? m * fixed_len : bounds[m];
+      const std::size_t msg_len =
+          fixed ? fixed_len : bounds[m + 1] - bounds[m];
+      scratch.fit_views.push_back(std::string_view(
+          reinterpret_cast<const char*>(arena.data()) + at, msg_len));
+    }
+    scratch.h2.resize(nfit);
     prf_k2.Hash64Column(scratch.fit_views,
                         std::span<std::uint64_t>(scratch.h2));
 
     if (dict_keys_) {
-      for (std::size_t f = 0; f < scratch.fit_msg.size(); ++f) {
-        const std::size_t m = scratch.fit_msg[f];
+      for (std::size_t f = 0; f < nfit; ++f) {
+        const std::size_t m = base + scratch.fit_msg[f];
         const std::size_t idx = PayloadIndexFromHash(
             scratch.h2[f], payload_len, params.bit_index_mode);
         fit_rows += rows_[m];
@@ -271,8 +365,8 @@ void DetectEngine::TallyShard(std::size_t shard, const KeyedPrf& prf_k1,
         votes[idx] += vote_[m];
       }
     } else {
-      for (std::size_t f = 0; f < scratch.fit_msg.size(); ++f) {
-        const std::size_t m = scratch.fit_msg[f];
+      for (std::size_t f = 0; f < nfit; ++f) {
+        const std::size_t m = base + scratch.fit_msg[f];
         const std::size_t idx = PayloadIndexFromHash(
             scratch.h2[f], payload_len, params.bit_index_mode);
         const std::int32_t v = vote_[m];
@@ -290,32 +384,15 @@ Result<DetectionResult> DetectEngine::RunPass(const KeyCandidate& candidate,
                                               std::size_t num_threads,
                                               Scratch& scratch) const {
   const SteadyClock::time_point start = SteadyClock::now();
-  if (candidate.wm_len == 0) {
-    return Status::InvalidArgument("watermark length must be > 0");
-  }
-  if (!candidate.keys.valid()) {
-    return Status::InvalidArgument("invalid watermark key set (k1 == k2?)");
-  }
-  if (candidate.params.e == 0) {
-    return Status::InvalidArgument("encoding parameter e must be >= 1");
-  }
+  const Status valid = ValidateCandidate(candidate);
+  if (!valid.ok()) return valid;
 
   DetectionResult result;
   result.num_tuples = num_rows_;
-  std::size_t payload_len;
-  if (default_payload_length_ != 0) {
-    payload_len = default_payload_length_;
-  } else if (candidate.params.payload_length != 0) {
-    payload_len = candidate.params.payload_length;
-  } else {
-    if (num_rows_ / candidate.params.e == 0) {
-      return Status::FailedPrecondition(
-          "cannot derive the payload length: e exceeds the suspect relation "
-          "size (N/e == 0); pass the owner-side payload_length instead");
-    }
-    payload_len =
-        DerivePayloadLength(num_rows_, candidate.params.e, candidate.wm_len);
-  }
+  CATMARK_ASSIGN_OR_RETURN(
+      const std::size_t payload_len,
+      ResolveDetectPayloadLength(default_payload_length_, candidate,
+                                 num_rows_));
   result.payload_length = payload_len;
   CATMARK_ASSIGN_OR_RETURN(const PrfKind prf_kind,
                            ResolvePrfKind(candidate.params.prf));
@@ -371,7 +448,8 @@ Result<DetectionResult> DetectEngine::RunPass(const KeyCandidate& candidate,
       FinishVoteTally(std::span<const long>(scratch.votes), candidate.wm_len,
                       candidate.params.ecc, result);
   if (!finish.ok()) return finish;
-  result.rows_scanned = num_messages_;
+  result.rows_scanned = num_rows_;
+  result.messages_hashed = num_messages_;
   result.wall_seconds = SecondsSince(start);
   return result;
 }
@@ -381,6 +459,257 @@ Result<DetectionResult> DetectEngine::Detect(
   Scratch scratch;
   return RunPass(candidate,
                  EffectiveThreadCount(num_threads_, num_messages_), scratch);
+}
+
+Result<DetectionResult> DetectEngine::DetectOneShot(
+    const Relation& rel, const DetectEngineOptions& options,
+    const KeyCandidate& candidate) {
+  const SteadyClock::time_point start = SteadyClock::now();
+  CATMARK_ASSIGN_OR_RETURN(
+      const std::size_t key_col,
+      rel.schema().ColumnIndexOrError(options.key_attr));
+  CATMARK_ASSIGN_OR_RETURN(
+      const std::size_t target_col,
+      rel.schema().ColumnIndexOrError(options.target_attr));
+  if (rel.empty()) {
+    return Status::FailedPrecondition("cannot detect in an empty relation");
+  }
+  const ColumnStore& store = rel.store();
+
+  if (store.IsDictColumn(key_col)) {
+    // Dict-code gather: the plan arena is O(live dict entries) and folding
+    // the rows into it is the whole win — Create IS the fused pass here.
+    CATMARK_ASSIGN_OR_RETURN(DetectEngine engine, Create(rel, options));
+    CATMARK_ASSIGN_OR_RETURN(DetectionResult result,
+                             engine.Detect(candidate));
+    result.wall_seconds = SecondsSince(start);
+    return result;
+  }
+
+  // Plain key column: one message per non-NULL key row, so the plan would
+  // materialize an O(N) arena + bounds + votes only to stream them back
+  // exactly once. Fuse instead: serialize a cache-resident chunk, hash it
+  // while hot, fitness-test, and tally — target-domain indices resolved
+  // only for the ~1/e fit rows.
+  const Status valid = ValidateCandidate(candidate);
+  if (!valid.ok()) return valid;
+
+  CategoricalDomain recovered_domain;
+  const CategoricalDomain* domain;
+  if (options.domain_view != nullptr) {
+    domain = options.domain_view;
+  } else if (options.domain.has_value()) {
+    domain = &*options.domain;
+  } else {
+    CATMARK_ASSIGN_OR_RETURN(
+        recovered_domain,
+        CategoricalDomain::FromRelationColumn(rel, target_col));
+    domain = &recovered_domain;
+  }
+  if (domain->size() < 2) {
+    return Status::FailedPrecondition("domain has fewer than 2 values");
+  }
+
+  const std::size_t n = rel.NumRows();
+  const std::size_t threads = EffectiveThreadCount(options.num_threads, n);
+
+  // Domain-index view of the target column: a caller-provided cache wins;
+  // a dict-encoded target builds its zero-copy O(dict) view; a plain
+  // target resolves lazily per fit row below — never an O(N) index build.
+  const ValueIndexColumn* cached_index = options.target_index;
+  if (cached_index != nullptr && cached_index->size() != n) {
+    return Status::InvalidArgument(
+        "target_index has a different row count than the suspect relation");
+  }
+  ValueIndexColumn local_index;
+  if (cached_index == nullptr && store.IsDictColumn(target_col)) {
+    local_index = ValueIndexColumn::Build(rel, target_col, *domain, threads);
+    cached_index = &local_index;
+  }
+
+  DetectionResult result;
+  result.num_tuples = n;
+  CATMARK_ASSIGN_OR_RETURN(
+      const std::size_t payload_len,
+      ResolveDetectPayloadLength(options.payload_length, candidate, n));
+  result.payload_length = payload_len;
+  CATMARK_ASSIGN_OR_RETURN(const PrfKind prf_kind,
+                           ResolvePrfKind(candidate.params.prf));
+  result.prf = prf_kind;
+  const std::unique_ptr<KeyedPrf> prf_k1 =
+      CreateKeyedPrf(prf_kind, candidate.keys.k1, candidate.params.hash_algo);
+  const std::unique_ptr<KeyedPrf> prf_k2 =
+      CreateKeyedPrf(prf_kind, candidate.keys.k2, candidate.params.hash_algo);
+
+  const DivisibilityCheck fit_by_e(candidate.params.e);
+  const ColumnReader key_reader(store, key_col);
+  std::vector<std::vector<long>> worker_votes(
+      threads, std::vector<long>(payload_len, 0));
+  std::vector<std::size_t> worker_usable(threads, 0);
+  std::vector<std::size_t> worker_fit(threads, 0);
+  std::vector<std::size_t> worker_hashed(threads, 0);
+  ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
+                              std::size_t end) {
+    std::vector<long>& votes = worker_votes[shard];
+    std::vector<std::uint8_t> arena;
+    std::vector<std::int64_t> vals;      // raw int64 keys, fast path
+    std::vector<std::int64_t> fit_vals;  // fit subset of vals, for k2
+    std::vector<std::size_t> bounds;
+    std::vector<std::uint32_t> rows;
+    std::vector<std::uint64_t> h1;
+    std::vector<std::uint64_t> h2;
+    std::vector<std::uint64_t> fit_mask;
+    std::vector<std::uint32_t> fit_sel;
+    std::vector<std::string_view> fit_views;
+    arena.reserve(kOneShotBatch * 16);
+    vals.resize(kOneShotBatch);
+    fit_vals.resize(kOneShotBatch);
+    bounds.reserve(kOneShotBatch + 1);
+    rows.reserve(kOneShotBatch);
+    // The plain key column's row storage, iterated directly: the reader's
+    // dict branch costs on every row, and the one-shot plain path already
+    // established there is no dict.
+    const Value* key_col_values = key_reader.values().data();
+    std::size_t usable = 0;
+    std::size_t fit = 0;
+    std::size_t hashed = 0;
+    for (std::size_t chunk = begin; chunk < end; chunk += kOneShotBatch) {
+      const std::size_t chunk_end = std::min(end, chunk + kOneShotBatch);
+      // Int64 fast path — the dominant plain-key shape: gather the raw
+      // int64s (one inline variant probe, one store per row — no per-row
+      // SerializeForHash, no bounds vector, no byte records at all) and
+      // hash them through the typed kernel, which assembles both SipHash
+      // input blocks of each canonical 9-byte record in vector registers.
+      // While no NULL has appeared the chunk is dense — message i is row
+      // chunk + i — so the rows indirection isn't even written. Any
+      // non-int64, non-NULL key falls the whole chunk back to the general
+      // arena path below.
+      bool fast = true;
+      bool dense = true;
+      std::size_t count = 0;
+      {
+        std::int64_t* vp = vals.data();
+        for (std::size_t j = chunk; j < chunk_end; ++j) {
+          const std::int64_t* kv = key_col_values[j].TryInt64();
+          if (kv == nullptr) {
+            if (key_col_values[j].is_null()) {
+              if (dense) {
+                dense = false;
+                rows.clear();
+                for (std::size_t t = 0; t < count; ++t) {
+                  rows.push_back(static_cast<std::uint32_t>(chunk + t));
+                }
+              }
+              continue;
+            }
+            fast = false;
+            break;
+          }
+          vp[count++] = *kv;
+          if (!dense) rows.push_back(static_cast<std::uint32_t>(j));
+        }
+      }
+      if (fast) {
+        h1.resize(count);
+        prf_k1->Hash64Int64Keys(vals.data(), count,
+                                std::span<std::uint64_t>(h1));
+      } else {
+        dense = false;
+        rows.clear();
+        arena.clear();
+        bounds.clear();
+        bounds.push_back(0);
+        for (std::size_t j = chunk; j < chunk_end; ++j) {
+          const Value& key_value = key_col_values[j];
+          if (key_value.is_null()) continue;
+          key_value.SerializeForHash(arena);
+          bounds.push_back(arena.size());
+          rows.push_back(static_cast<std::uint32_t>(j));
+        }
+        count = rows.size();
+        h1.resize(count);
+        prf_k1->Hash64Arena(arena.data(),
+                            std::span<const std::size_t>(bounds),
+                            std::span<std::uint64_t>(h1));
+      }
+      hashed += count;
+      // Fitness as a packed bitset (AVX2-vectorized divisibility test),
+      // then set-bit iteration: the compaction loop touches only the ~1/e
+      // fit rows plus one word per 64 hashes, instead of running the
+      // scalar multiply/compare chain once per row.
+      fit_mask.resize((count + 63) / 64);
+      DivisibilityMask64(fit_by_e, h1.data(), count, fit_mask.data());
+      fit_sel.clear();
+      for (std::size_t w = 0; w < fit_mask.size(); ++w) {
+        std::uint64_t word = fit_mask[w];
+        while (word != 0) {
+          fit_sel.push_back(static_cast<std::uint32_t>(
+              64 * w + static_cast<std::size_t>(std::countr_zero(word))));
+          word &= word - 1;
+        }
+      }
+      const std::size_t nfit = fit_sel.size();
+      fit += nfit;
+      h2.resize(nfit);
+      if (fast) {
+        for (std::size_t f = 0; f < nfit; ++f) {
+          fit_vals[f] = vals[fit_sel[f]];
+        }
+        prf_k2->Hash64Int64Keys(fit_vals.data(), nfit,
+                                std::span<std::uint64_t>(h2));
+      } else {
+        fit_views.clear();
+        for (std::size_t f = 0; f < nfit; ++f) {
+          const std::size_t i = fit_sel[f];
+          fit_views.push_back(std::string_view(
+              reinterpret_cast<const char*>(arena.data()) + bounds[i],
+              bounds[i + 1] - bounds[i]));
+        }
+        prf_k2->Hash64Column(fit_views, std::span<std::uint64_t>(h2));
+      }
+      for (std::size_t f = 0; f < nfit; ++f) {
+        const std::size_t j = dense ? chunk + fit_sel[f] : rows[fit_sel[f]];
+        const std::size_t idx = PayloadIndexFromHash(
+            h2[f], payload_len, candidate.params.bit_index_mode);
+        std::int32_t t;
+        if (cached_index != nullptr) {
+          t = cached_index->index(j);
+        } else {
+          const Value& attr_value = rel.Get(j, target_col);
+          if (attr_value.is_null()) continue;
+          const auto domain_index = domain->IndexOf(attr_value);
+          t = domain_index.has_value()
+                  ? static_cast<std::int32_t>(*domain_index)
+                  : ValueIndexColumn::kNoIndex;
+        }
+        if (t < 0) continue;  // NULL / out-of-domain target
+        ++usable;
+        votes[idx] +=
+            ExtractBitFromValueIndex(static_cast<std::size_t>(t)) ? 1 : -1;
+      }
+    }
+    worker_usable[shard] = usable;
+    worker_fit[shard] = fit;
+    worker_hashed[shard] = hashed;
+  });
+
+  std::vector<long> votes(payload_len, 0);
+  for (std::size_t w = 0; w < threads; ++w) {
+    result.usable_votes += worker_usable[w];
+    result.fit_tuples += worker_fit[w];
+    result.messages_hashed += worker_hashed[w];
+    for (std::size_t i = 0; i < payload_len; ++i) {
+      votes[i] += worker_votes[w][i];
+    }
+  }
+
+  const Status finish =
+      FinishVoteTally(std::span<const long>(votes), candidate.wm_len,
+                      candidate.params.ecc, result);
+  if (!finish.ok()) return finish;
+  result.rows_scanned = n;
+  result.wall_seconds = SecondsSince(start);
+  return result;
 }
 
 std::vector<Result<DetectionResult>> DetectEngine::DetectMany(

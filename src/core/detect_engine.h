@@ -96,12 +96,26 @@ class DetectEngine {
   static Result<DetectEngine> Create(const Relation& rel,
                                      const DetectEngineOptions& options);
 
+  /// The one-shot single-candidate entry point Detector::Detect runs on:
+  /// the plan-then-pass split exists to amortize the plan across *many*
+  /// candidates, so with exactly one there is nothing to amortize — on a
+  /// plain key column this fuses serialize -> hash -> fitness -> tally into
+  /// a single chunked streaming pass that never materializes the
+  /// whole-relation arena (and resolves target-domain indices only for the
+  /// ~1/e fit rows). On a dict-encoded key column the plan arena is O(live
+  /// dict) and building it IS the fast path, so this delegates to
+  /// Create + Detect. Bit-identical to that pair on every input.
+  static Result<DetectionResult> DetectOneShot(
+      const Relation& rel, const DetectEngineOptions& options,
+      const KeyCandidate& candidate);
+
   DetectEngine(DetectEngine&&) = default;
   DetectEngine& operator=(DetectEngine&&) = default;
 
-  /// One candidate through the PerKeyPass. DetectionResult::rows_scanned
-  /// counts the prepared messages hashed (the plan is amortized, not
-  /// rebuilt); wall_seconds covers just this pass.
+  /// One candidate through the PerKeyPass. The plan is amortized, not
+  /// rebuilt: messages_hashed counts its prepared messages while
+  /// rows_scanned stays the relation's row count; wall_seconds covers just
+  /// this pass.
   Result<DetectionResult> Detect(const KeyCandidate& candidate) const;
 
   /// Runs every candidate through the PerKeyPass, amortizing the plan
@@ -151,6 +165,13 @@ class DetectEngine {
   std::vector<std::vector<std::uint8_t>> arena_;
   std::vector<std::vector<std::size_t>> bounds_;
   std::vector<std::size_t> msg_base_;  ///< first global message id per shard
+
+  // Equal-length arena layout: when every prepared message serializes to
+  // the same byte count (always true for int64/double keys — 9 bytes — and
+  // for equal-width strings), message m sits at offset m * fixed_len_ in
+  // its shard arena and the PerKeyPass hashes via Hash64Fixed with no
+  // per-message bounds lookups. -1 = mixed lengths, use bounds_.
+  std::ptrdiff_t fixed_len_ = -1;
 
   // Per-message aggregates, global message order (shards concatenated).
   // On a plain key column each message is a single row: rows == 1 and

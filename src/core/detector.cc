@@ -82,12 +82,14 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
 
   const bool use_map = options.embedding_map != nullptr;
   if (!use_map) {
-    // The k2 position path runs on the key-agnostic engine: the
-    // RelationPlan half (serialization, dict-code gather, domain/index
-    // view) is what a sweep builds once, and the PerKeyPass half is this
-    // one key. Building both inside one call keeps the classic one-shot
-    // API while guaranteeing a sweep's per-candidate results cannot drift
-    // from standalone detection — they are the same code.
+    // The k2 position path runs on the key-agnostic engine's one-shot
+    // entry point: with exactly one candidate there is no plan to
+    // amortize, so DetectOneShot fuses serialize -> hash -> tally on plain
+    // key columns instead of materializing the whole-relation arena it
+    // would immediately re-read (the PR 8 one-shot tax), and delegates to
+    // the plan + pass pair on dict key columns where the plan is O(dict).
+    // Either way the result is bit-identical to a sweep's per-candidate
+    // pass — detect_engine_test pins it.
     DetectEngineOptions engine_options;
     engine_options.key_attr = options.key_attr;
     engine_options.target_attr = options.target_attr;
@@ -99,14 +101,10 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
     engine_options.target_index = options.target_index;
     engine_options.payload_length = options.payload_length;
     engine_options.num_threads = params_.num_threads;
-    CATMARK_ASSIGN_OR_RETURN(DetectEngine engine,
-                             DetectEngine::Create(rel, engine_options));
     const KeyCandidate candidate{keys_, params_, wm_len};
-    CATMARK_ASSIGN_OR_RETURN(DetectionResult result,
-                             engine.Detect(candidate));
-    // One-shot call: the plan was built inside it, so the whole relation
-    // was scanned and the full wall time belongs to this detection.
-    result.rows_scanned = rel.NumRows();
+    CATMARK_ASSIGN_OR_RETURN(
+        DetectionResult result,
+        DetectEngine::DetectOneShot(rel, engine_options, candidate));
     result.wall_seconds = elapsed();
     return result;
   }
@@ -172,6 +170,7 @@ Result<DetectionResult> Detector::Detect(const Relation& rel,
   const TuplePlan plan =
       BuildTuplePlan(rel, key_col, keys_, params_, plan_options);
   result.fit_tuples = plan.fit_count;
+  result.messages_hashed = plan.messages_hashed;
 
   // Domain-index view of the target column: a sweep-provided cache skips
   // IndexOf entirely. On a dictionary-encoded column the view is zero-copy

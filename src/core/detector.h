@@ -74,14 +74,21 @@ struct DetectionResult {
   /// quality: 1.0 = unanimous votes, 0.0 = fully erased / tied.
   std::vector<double> bit_confidence;
 
-  /// Wall-clock seconds this detection call took, and how many prepared
-  /// units it actually pushed through the PRF: a one-shot Detector::Detect
-  /// scans every suspect row (rows_scanned == num_tuples), while a
-  /// DetectEngine per-key pass only re-hashes the plan's prepared messages
-  /// (one per distinct live key on a dictionary-encoded key column) — the
-  /// amortization a sweep ranks and benches by, from one accounting source.
+  /// Wall-clock seconds this detection call took.
   double wall_seconds = 0.0;
+
+  /// Suspect rows this detection speaks for — always the relation's row
+  /// count, on every path (one-shot, embedding-map, engine per-key pass).
+  /// Throughput rates divide by this.
   std::size_t rows_scanned = 0;
+
+  /// Prepared messages actually pushed through the keyed PRF: equal to the
+  /// non-NULL key rows on a plain key column, to the *live distinct*
+  /// dictionary entries on a dict-encoded one (the dict-code gather), and
+  /// to the plan's prepared messages on an engine per-key pass. The
+  /// amortization a sweep ranks and benches by — kept separate from
+  /// rows_scanned so the two are never conflated again.
+  std::size_t messages_hashed = 0;
 };
 
 /// Agreement between an expected and a decoded watermark, with the

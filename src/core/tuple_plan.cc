@@ -92,6 +92,8 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
             }
           }
         });
+    // Each live distinct entry went through the PRF exactly once above.
+    for (const std::int64_t l : live) plan.messages_hashed += (l != 0);
     plan.shard_fit.assign(threads, 0);
     std::vector<std::size_t>& shard_fit = plan.shard_fit;
     ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
@@ -119,10 +121,12 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
   const ColumnReader key_reader(store, key_col);
   plan.shard_fit.assign(threads, 0);
   std::vector<std::size_t>& shard_fit = plan.shard_fit;
+  std::vector<std::size_t> shard_hashed(threads, 0);
   ParallelFor(n, threads, [&](std::size_t shard, std::size_t begin,
                               std::size_t end) {
     KeyHashBatch batch;
     std::size_t local_fit = 0;
+    std::size_t local_hashed = 0;
     for (std::size_t j = begin; j < end;) {
       batch.Clear();
       for (; j < end && batch.size() < kKeyHashBatch; ++j) {
@@ -130,6 +134,7 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
         if (key_value.is_null()) continue;
         batch.Add(key_value, j);
       }
+      local_hashed += batch.size();
       batch.Hash(*prf_k1);
       for (std::size_t i = 0; i < batch.size(); ++i) {
         const std::uint64_t h1 = batch.h1[i];
@@ -149,8 +154,10 @@ TuplePlan BuildTuplePlan(const Relation& rel, std::size_t key_col,
       }
     }
     shard_fit[shard] = local_fit;
+    shard_hashed[shard] = local_hashed;
   });
   for (const std::size_t f : shard_fit) plan.fit_count += f;
+  for (const std::size_t h : shard_hashed) plan.messages_hashed += h;
   return plan;
 }
 

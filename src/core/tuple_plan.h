@@ -93,6 +93,12 @@ struct TuplePlan {
   std::vector<std::uint32_t> payload_index;
   std::size_t fit_count = 0;
 
+  /// Messages the build pushed through the k1 PRF: live distinct dictionary
+  /// entries on the cached path, non-NULL key rows otherwise. Feeds
+  /// DetectionResult::messages_hashed so map-path detections report the
+  /// same work accounting as the engine.
+  std::size_t messages_hashed = 0;
+
   /// Per-shard fit counts over the ShardBounds(size(), shard_fit.size())
   /// row partition — the sharded embed apply pass prefix-sums these to
   /// assign each committing tuple its global map index without a serial

@@ -91,12 +91,32 @@ class KeyedPrf {
   /// Bit-identical to Hash64Column over the equivalent views, but takes the
   /// (arena, offsets) layout batch producers already hold — any subrange of
   /// a prepared message block hashes via a bounds subspan with no per-chunk
-  /// string_view materialization. This contiguous layout is also where a
-  /// multi-lane SIMD backend slots in: several messages per call, no
-  /// pointer chasing.
+  /// string_view materialization. This contiguous layout is also where the
+  /// multi-lane SIMD backend slots in: siphash24 routes it through 4/8-lane
+  /// SSE2/AVX2 kernels (see crypto/siphash_simd.h), several messages per
+  /// call with no pointer chasing.
   virtual void Hash64Arena(const std::uint8_t* arena,
                            std::span<const std::size_t> bounds,
                            std::span<std::uint64_t> out) const;
+
+  /// Fixed-shape batch form: out[i] = Hash64 of the `len` bytes at
+  /// base + i * stride (stride >= len; equal is the packed equal-length
+  /// arena). The shape every fixed-width key column serializes to — no
+  /// per-message bounds lookups at all, so the SIMD lanes stream at a
+  /// constant stride. Bit-identical to the equivalent Hash64Arena call.
+  virtual void Hash64Fixed(const std::uint8_t* base, std::size_t len,
+                           std::size_t stride,
+                           std::span<std::uint64_t> out) const;
+
+  /// Typed batch form for the dominant plain-key shape: out[i] = Hash64 of
+  /// Value(vals[i])'s canonical serialization (tag 0x01 + big-endian
+  /// payload, 9 bytes). The base implementation materializes each record
+  /// and calls Hash64; siphash24 overrides it with a kernel that assembles
+  /// both SipHash input blocks of the record in vector registers straight
+  /// from the int64s — no serialization buffer exists at all. Bit-identical
+  /// to SerializeForHash + Hash64 for every backend.
+  virtual void Hash64Int64Keys(const std::int64_t* vals, std::size_t count,
+                               std::span<std::uint64_t> out) const;
 };
 
 /// Builds a backend instance over `key`. `algo` is only consulted by

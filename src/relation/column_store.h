@@ -261,6 +261,10 @@ class ColumnReader {
   bool is_dict() const { return codes_ != nullptr; }
   const std::vector<std::int32_t>& codes() const { return *codes_; }
   const std::vector<Value>& dict() const { return *dict_; }
+  /// Direct row storage of a plain (non-dict) column — per-row hot loops
+  /// iterate this instead of paying the dict branch in operator[] on every
+  /// access. Only valid when !is_dict().
+  const std::vector<Value>& values() const { return *values_; }
 
  private:
   const std::vector<std::int32_t>* codes_ = nullptr;

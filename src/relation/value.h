@@ -40,6 +40,13 @@ class Value {
   double AsDouble() const;
   const std::string& AsString() const;
 
+  /// Branch-only typed probe for per-row hot loops: the held int64, or
+  /// nullptr for every other alternative (including NULL). Unlike AsInt64
+  /// this is inline and unchecked — one variant-tag test, no call.
+  const std::int64_t* TryInt64() const {
+    return std::get_if<std::int64_t>(&data_);
+  }
+
   /// True when a non-null value matches the given column type.
   bool MatchesType(ColumnType type) const;
 

@@ -182,7 +182,7 @@ Result<SweepReport> WatermarkService::SweepOwnership(
       match.detection = results[k].value();
       match.decision = DecideOwnership(candidate.certificate.wm,
                                        match.detection.wm, alpha);
-      report.rows_scanned += match.detection.rows_scanned;
+      report.messages_hashed += match.detection.messages_hashed;
       report.ranked.push_back(std::move(match));
     }
   }

@@ -49,8 +49,8 @@ struct SweepReport {
   /// Candidates whose detection could not run (bad attributes, empty
   /// domain, unresolvable PRF, ...), with the reason.
   std::vector<std::pair<std::string, Status>> failed;
-  std::size_t plans_built = 0;    ///< distinct RelationPlans (attr groups)
-  std::size_t rows_scanned = 0;   ///< prepared messages hashed, summed
+  std::size_t plans_built = 0;      ///< distinct RelationPlans (attr groups)
+  std::size_t messages_hashed = 0;  ///< prepared messages hashed, summed
   double wall_seconds = 0.0;      ///< whole sweep, plan builds included
 };
 

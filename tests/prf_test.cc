@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "crypto/keyed_hash.h"
 #include "crypto/prf.h"
 #include "crypto/siphash.h"
+#include "relation/value.h"
 
 namespace catmark {
 namespace {
@@ -200,6 +203,94 @@ TEST(KeyedPrfTest, Hash64ColumnMatchesSingleShotForEveryBackend) {
     for (std::size_t i = 0; i < views.size(); ++i) {
       EXPECT_EQ(batch[i], prf->Hash64(views[i]))
           << PrfKindName(kind) << " input " << i;
+    }
+  }
+}
+
+TEST(KeyedPrfTest, Hash64ArenaBoundsEdgesForEveryBackend) {
+  // The arena API's degenerate shapes, for every backend: a zero-message
+  // span is bounds == {0} with an empty out (nothing may be read from the
+  // arena pointer, which is null here), a single empty message is bounds ==
+  // {0, 0}, and empty messages may sit between non-empty ones. None of
+  // these may underflow the bounds arithmetic or touch out-of-range arena
+  // bytes.
+  for (const PrfKind kind : {PrfKind::kKeyedHash, PrfKind::kHmacSha256,
+                             PrfKind::kSipHash24}) {
+    const auto prf = CreateKeyedPrf(kind, SecretKey::FromSeed(11));
+
+    const std::size_t empty_bounds[1] = {0};
+    prf->Hash64Arena(nullptr, std::span<const std::size_t>(empty_bounds),
+                     std::span<std::uint64_t>());  // must not crash
+
+    const std::size_t one_empty[2] = {0, 0};
+    std::uint64_t out1[1] = {~0ULL};
+    prf->Hash64Arena(nullptr, std::span<const std::size_t>(one_empty), out1);
+    EXPECT_EQ(out1[0], prf->Hash64(std::string_view()))
+        << PrfKindName(kind) << " single empty message";
+
+    // Empty messages interleaved with real ones: {"", "ab", "", "c", ""}.
+    const std::uint8_t arena[3] = {'a', 'b', 'c'};
+    const std::size_t bounds[6] = {0, 0, 2, 2, 3, 3};
+    std::uint64_t out5[5];
+    prf->Hash64Arena(arena, std::span<const std::size_t>(bounds), out5);
+    const std::string_view msgs[5] = {"", "ab", "", "c", ""};
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(out5[i], prf->Hash64(msgs[i]))
+          << PrfKindName(kind) << " message " << i;
+    }
+  }
+}
+
+TEST(KeyedPrfTest, Hash64FixedEdgesForEveryBackend) {
+  // Fixed-stride counterpart: zero messages, zero-length messages at a
+  // positive stride, and stride > len (padding bytes must be ignored).
+  for (const PrfKind kind : {PrfKind::kKeyedHash, PrfKind::kHmacSha256,
+                             PrfKind::kSipHash24}) {
+    const auto prf = CreateKeyedPrf(kind, SecretKey::FromSeed(12));
+
+    prf->Hash64Fixed(nullptr, 0, 0, std::span<std::uint64_t>());
+
+    const std::uint8_t pad[6] = {1, 2, 3, 4, 5, 6};
+    std::uint64_t out3[3];
+    prf->Hash64Fixed(pad, 0, 2, out3);  // three empty messages, stride 2
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(out3[i], prf->Hash64(std::string_view()))
+          << PrfKindName(kind) << " empty message " << i;
+    }
+
+    std::uint64_t out2[2];
+    prf->Hash64Fixed(pad, 2, 3, out2);  // {1,2} and {4,5}; 3 and 6 are pad
+    EXPECT_EQ(out2[0], prf->Hash64(pad, 2)) << PrfKindName(kind);
+    EXPECT_EQ(out2[1], prf->Hash64(pad + 3, 2)) << PrfKindName(kind);
+  }
+}
+
+TEST(KeyedPrfTest, Hash64Int64KeysForEveryBackend) {
+  // The typed batch form must agree with hashing each key's canonical
+  // serialization (Value::SerializeForHash) for every backend, including
+  // the SipHash24 override that feeds the SIMD int64 kernels.
+  const std::vector<std::int64_t> vals = {
+      0,
+      1,
+      -1,
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max(),
+      42,
+      -99999,
+      0x0102030405060708LL};
+  for (const PrfKind kind : {PrfKind::kKeyedHash, PrfKind::kHmacSha256,
+                             PrfKind::kSipHash24}) {
+    const auto prf = CreateKeyedPrf(kind, SecretKey::FromSeed(31));
+
+    prf->Hash64Int64Keys(nullptr, 0, std::span<std::uint64_t>());
+
+    std::vector<std::uint64_t> out(vals.size());
+    prf->Hash64Int64Keys(vals.data(), vals.size(), out);
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      std::vector<std::uint8_t> bytes;
+      Value(vals[i]).SerializeForHash(bytes);
+      EXPECT_EQ(out[i], prf->Hash64(bytes.data(), bytes.size()))
+          << PrfKindName(kind) << " value " << vals[i];
     }
   }
 }
