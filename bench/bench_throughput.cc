@@ -321,6 +321,79 @@ int Run(const ExperimentConfig& config) {
           ? prf_detect[kNumPrfs - 1].serial_tps / prf_detect[0].serial_tps
           : 0.0;
 
+  // Embed PRF breakdown — the embed-side mirror of the detect rows above.
+  // Until ISSUE 10 the embed rows only ever ran the ambient backend, so the
+  // fused plan/apply pipeline's headline (embed under siphash24) was
+  // invisible in the artifact. Parallel runs are checked bit-identical to
+  // serial inline, and the siphash24 embedding is additionally re-run under
+  // forced-scalar SIMD dispatch and compared byte-for-byte — the SIMD lanes
+  // are a throughput knob, never a result knob, on the embed side too.
+  constexpr PrfKind kEmbedPrfSweep[] = {PrfKind::kKeyedHash,
+                                        PrfKind::kSipHash24};
+  constexpr std::size_t kNumEmbedPrfs = std::size(kEmbedPrfSweep);
+  Measurement prf_embed[kNumEmbedPrfs];
+  for (std::size_t p = 0; p < kNumEmbedPrfs; ++p) {
+    WatermarkParams prf_serial = serial_params;
+    prf_serial.prf = kEmbedPrfSweep[p];
+    WatermarkParams prf_parallel = parallel_params;
+    prf_parallel.prf = kEmbedPrfSweep[p];
+
+    Relation serial_marked;
+    EmbedReport serial_report;
+    for (std::size_t pass = 0; pass < config.passes; ++pass) {
+      {
+        Relation rel = original;
+        const auto start = Clock::now();
+        Result<EmbedReport> r =
+            Embedder(keys, prf_serial).Embed(rel, embed_options, wm);
+        const double secs = SecondsSince(start);
+        CATMARK_CHECK(r.ok()) << r.status().ToString();
+        serial_report = std::move(r).value();
+        serial_marked = std::move(rel);
+        if (n / secs > prf_embed[p].serial_tps) {
+          prf_embed[p].serial_tps = n / secs;
+        }
+      }
+      {
+        Relation rel = original;
+        const auto start = Clock::now();
+        Result<EmbedReport> r =
+            Embedder(keys, prf_parallel).Embed(rel, embed_options, wm);
+        const double secs = SecondsSince(start);
+        CATMARK_CHECK(r.ok()) << r.status().ToString();
+        CATMARK_CHECK_EQ(r.value().altered_tuples,
+                         serial_report.altered_tuples)
+            << "parallel embed diverged under "
+            << std::string(PrfKindName(kEmbedPrfSweep[p]));
+        CATMARK_CHECK(rel.SameContent(serial_marked))
+            << "parallel embed produced different data under "
+            << std::string(PrfKindName(kEmbedPrfSweep[p]));
+        if (n / secs > prf_embed[p].parallel_tps) {
+          prf_embed[p].parallel_tps = n / secs;
+        }
+      }
+    }
+    prf_embed[p].speedup =
+        prf_embed[p].parallel_tps / prf_embed[p].serial_tps;
+    if (kEmbedPrfSweep[p] == PrfKind::kSipHash24) {
+      ForceSimdLevel(SimdLevel::kScalar);
+      Relation rel = original;
+      Result<EmbedReport> r =
+          Embedder(keys, prf_serial).Embed(rel, embed_options, wm);
+      ForceSimdLevel(std::nullopt);
+      CATMARK_CHECK(r.ok()) << r.status().ToString();
+      CATMARK_CHECK_EQ(r.value().altered_tuples, serial_report.altered_tuples)
+          << "scalar-dispatch embed diverged from the ambient SIMD level";
+      CATMARK_CHECK(rel.SameContent(serial_marked))
+          << "scalar-dispatch embed produced different data than the "
+             "ambient SIMD level";
+    }
+  }
+  const double embed_prf_fast_gain =
+      prf_embed[0].serial_tps > 0.0
+          ? prf_embed[kNumEmbedPrfs - 1].serial_tps / prf_embed[0].serial_tps
+          : 0.0;
+
   // SIMD dispatch + one-shot engine rows (siphash24, single thread). Two
   // stories in one embedding:
   //   detect_simd_*   — the identical fused one-shot detect timed at the
@@ -567,6 +640,74 @@ int Run(const ExperimentConfig& config) {
                                    stream_s1_tps[0]
                              : 0.0;
 
+  // Steady-state streaming PRF rows: sessions opened ONCE per measurement
+  // (verdict caches warmed by an untimed first pass), batch = 1024, per
+  // keyed-PRF backend. The cold-session grid above deliberately re-opens
+  // everything per pass, so its 8-session rows pay 8 cold verdict-cache
+  // fills and the base relation's first-append page faults inside the
+  // timer; on low-core hosts that bring-up cost can push cold s8 below
+  // cold s1 — the documented waiver for those rows (measured in ISSUE 10:
+  // the gap tracks key-pool hashing and base-relation size, not the
+  // ExecuteBatches fan-out). These rows measure the sustained regime the
+  // service actually runs in, and carry the s8 >= s1 CHECK the cold grid
+  // cannot: with warm caches a multi-session fan-out must never run slower
+  // than a single session on the same stream (0.8 factor absorbs scheduler
+  // noise on small CI hosts).
+  constexpr PrfKind kStreamPrfSweep[] = {PrfKind::kKeyedHash,
+                                         PrfKind::kSipHash24};
+  constexpr std::size_t kNumStreamPrfs = std::size(kStreamPrfSweep);
+  constexpr std::size_t kStreamPrfBatch = 1024;
+  double stream_prf_s1_tps[kNumStreamPrfs] = {};
+  double stream_prf_s8_tps[kNumStreamPrfs] = {};
+  for (std::size_t p = 0; p < kNumStreamPrfs; ++p) {
+    SessionSpec prf_spec = stream_spec;
+    prf_spec.params.prf = kStreamPrfSweep[p];
+    for (const std::size_t sessions :
+         {std::size_t{1}, std::size_t{kStreamSessions}}) {
+      WatermarkService service(ServiceOptions{DefaultThreadCount()});
+      std::vector<std::size_t> ids;
+      for (std::size_t s = 0; s < sessions; ++s) {
+        Result<std::size_t> id = service.Open(prf_spec, stream_marked);
+        CATMARK_CHECK(id.ok()) << id.status().ToString();
+        ids.push_back(id.value());
+      }
+      const auto run_once = [&]() -> double {
+        std::vector<WatermarkService::SessionBatch> batches;
+        for (std::size_t at = 0, i = 0; at < stream_rows.size(); ++i) {
+          const std::size_t len =
+              std::min(stream_rows.size() - at, kStreamPrfBatch);
+          WatermarkService::SessionBatch sb;
+          sb.session_id = ids[i % sessions];
+          sb.rows.assign(stream_rows.begin() + at,
+                         stream_rows.begin() + at + len);
+          batches.push_back(std::move(sb));
+          at += len;
+        }
+        const auto start = Clock::now();
+        const std::vector<Result<BatchReport>> results =
+            service.ExecuteBatches(
+                std::span<WatermarkService::SessionBatch>(batches));
+        const double secs = SecondsSince(start);
+        for (const Result<BatchReport>& r : results) {
+          CATMARK_CHECK(r.ok()) << r.status().ToString();
+        }
+        return stream_n / secs;
+      };
+      run_once();  // warm-up: fills the verdict caches, untimed
+      double best = 0.0;
+      for (std::size_t pass = 0; pass < config.passes; ++pass) {
+        best = std::max(best, run_once());
+      }
+      (sessions == 1 ? stream_prf_s1_tps : stream_prf_s8_tps)[p] = best;
+    }
+    CATMARK_CHECK(stream_prf_s8_tps[p] >= 0.8 * stream_prf_s1_tps[p])
+        << "warm " << kStreamSessions << "-session stream under "
+        << std::string(PrfKindName(kStreamPrfSweep[p]))
+        << " ran slower than a single session at batch=" << kStreamPrfBatch
+        << " (" << stream_prf_s8_tps[p] << " vs " << stream_prf_s1_tps[p]
+        << " t/s)";
+  }
+
   // On-disk format rows: loading the marked relation and the full
   // load -> detect path, CSV versus .catm binary columnar. Pinned to the
   // siphash24 backend so fitness hashing does not mask the ingest story
@@ -807,6 +948,16 @@ int Run(const ExperimentConfig& config) {
   }
   PrintTableRow({"detect prf gain", FormatDouble(prf_fast_gain, 2) + "x",
                  "(siphash24 / keyed-hash, serial)", "-", "1"});
+  for (std::size_t p = 0; p < kNumEmbedPrfs; ++p) {
+    PrintTableRow(
+        {"embed[" + std::string(PrfKindName(kEmbedPrfSweep[p])) + "]",
+         FormatDouble(prf_embed[p].serial_tps, 0),
+         FormatDouble(prf_embed[p].parallel_tps, 0),
+         FormatDouble(prf_embed[p].speedup, 2),
+         std::to_string(parallel_params.num_threads)});
+  }
+  PrintTableRow({"embed prf gain", FormatDouble(embed_prf_fast_gain, 2) + "x",
+                 "(siphash24 / keyed-hash, serial)", "-", "1"});
   PrintTableRow(
       {"plan/index (ms)", FormatDouble(index_ms, 3), "-", "-", "1"});
 
@@ -853,6 +1004,15 @@ int Run(const ExperimentConfig& config) {
   PrintTableRow({"batch gain", FormatDouble(stream_batch_gain, 2) + "x",
                  "(batch=1024 / batch=1, 1 session)", "", ""});
 
+  PrintTableTitle("streaming steady state (warm sessions, batch=1024, "
+                  "inserts/sec per PRF backend)");
+  PrintTableHeader({"backend", "1 session", "8 sessions", "", ""});
+  for (std::size_t p = 0; p < kNumStreamPrfs; ++p) {
+    PrintTableRow({std::string(PrfKindName(kStreamPrfSweep[p])),
+                   FormatDouble(stream_prf_s1_tps[p], 0),
+                   FormatDouble(stream_prf_s8_tps[p], 0), "", ""});
+  }
+
   PrintTableTitle("blind multi-key ownership sweep (dict keys, siphash24; "
                   "naive = repeated Detector::Detect)");
   PrintTableHeader({"metric", "value", "", "", ""});
@@ -875,7 +1035,7 @@ int Run(const ExperimentConfig& config) {
       std::fprintf(stderr, "bench_throughput: cannot write %s\n", json_path);
       return 1;
     }
-    char buf[8192];
+    char buf[16384];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
@@ -901,6 +1061,11 @@ int Run(const ExperimentConfig& config) {
         "  \"detect_prf_siphash24_serial_tps\": %.0f,\n"
         "  \"detect_prf_siphash24_parallel_tps\": %.0f,\n"
         "  \"detect_prf_fast_gain\": %.3f,\n"
+        "  \"embed_prf_keyed_hash_serial_tps\": %.0f,\n"
+        "  \"embed_prf_keyed_hash_parallel_tps\": %.0f,\n"
+        "  \"embed_prf_siphash24_serial_tps\": %.0f,\n"
+        "  \"embed_prf_siphash24_parallel_tps\": %.0f,\n"
+        "  \"embed_prf_fast_gain\": %.3f,\n"
         "  \"simd_level\": \"%s\",\n"
         "  \"detect_simd_serial_tps\": %.0f,\n"
         "  \"detect_simd_scalar_serial_tps\": %.0f,\n"
@@ -925,6 +1090,10 @@ int Run(const ExperimentConfig& config) {
         "  \"stream_s8_b64_tps\": %.0f,\n"
         "  \"stream_s8_b1024_tps\": %.0f,\n"
         "  \"stream_batch_gain\": %.3f,\n"
+        "  \"stream_prf_keyed_hash_s1_tps\": %.0f,\n"
+        "  \"stream_prf_keyed_hash_s8_tps\": %.0f,\n"
+        "  \"stream_prf_siphash24_s1_tps\": %.0f,\n"
+        "  \"stream_prf_siphash24_s8_tps\": %.0f,\n"
         "  \"sweep_keys\": %zu,\n"
         "  \"sweep_n\": %zu,\n"
         "  \"sweep_naive_per_key_ms\": %.4f,\n"
@@ -940,7 +1109,10 @@ int Run(const ExperimentConfig& config) {
         detect.parallel_tps, detect.speedup, prf_detect[0].serial_tps,
         prf_detect[0].parallel_tps, prf_detect[1].serial_tps,
         prf_detect[1].parallel_tps, prf_detect[2].serial_tps,
-        prf_detect[2].parallel_tps, prf_fast_gain, simd_level_name.c_str(),
+        prf_detect[2].parallel_tps, prf_fast_gain,
+        prf_embed[0].serial_tps, prf_embed[0].parallel_tps,
+        prf_embed[1].serial_tps, prf_embed[1].parallel_tps,
+        embed_prf_fast_gain, simd_level_name.c_str(),
         detect_simd_tps, detect_simd_scalar_tps, detect_simd_gain,
         detect_simd_tps, plan_pass_tps, oneshot_vs_plan_gain, index_ms,
         load_csv_tps,
@@ -948,7 +1120,10 @@ int Run(const ExperimentConfig& config) {
         e2e_format_gain, csv_bytes, catm_bytes, stream_n,
         stream_s1_tps[0], stream_s1_tps[1], stream_s1_tps[2],
         stream_s8_tps[0], stream_s8_tps[1], stream_s8_tps[2],
-        stream_batch_gain, kSweepKeys, sweep_n, sweep_naive_per_key_ms,
+        stream_batch_gain,
+        stream_prf_s1_tps[0], stream_prf_s8_tps[0],
+        stream_prf_s1_tps[1], stream_prf_s8_tps[1],
+        kSweepKeys, sweep_n, sweep_naive_per_key_ms,
         sweep_per_key_ms, sweep_plan_ms, sweep_keys_per_sec, sweep_gain);
     out << buf;
     std::printf("json report: %s\n", json_path);

@@ -1,5 +1,7 @@
 #include "core/embedder.h"
 
+#include <bit>
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -55,6 +57,31 @@ enum RowVerdict : std::uint8_t {
   kAlter,      // fit, needs the code write (may still be guard-skipped)
   kGuardSkip,  // alteration vetoed by the category-draining guard
 };
+
+// Calls fn(j) for every fit row j in [begin, end), by set-bit scanning the
+// plan's packed fitness bitset: one word test skips 64 unfit rows, and the
+// body runs only for the ~1/e fit tuples — the branchless replacement for
+// the per-row `if (!plan.fit[j]) continue;` scan of every apply flavour.
+template <typename Fn>
+inline void ForEachFitRow(const std::uint64_t* fit_words, std::size_t begin,
+                          std::size_t end, Fn&& fn) {
+  if (begin >= end) return;
+  std::size_t w = begin >> 6;
+  const std::size_t wend = (end + 63) >> 6;
+  std::uint64_t word =
+      fit_words[w] & (~std::uint64_t{0} << (begin & 63));
+  for (;;) {
+    while (word != 0) {
+      const std::size_t j =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      if (j >= end) return;
+      fn(j);
+      word &= word - 1;
+    }
+    if (++w >= wend) return;
+    word = fit_words[w];
+  }
+}
 
 // Distinct wm_data positions hit across all shards (the serial pass's
 // position_seen counter, reassembled from per-shard bitmaps by OR — set
@@ -163,13 +190,20 @@ struct ShardTally {
   EmbeddingMap::Segment segment;   // map path only
 };
 
-// Two-phase sharded apply for the k2 position path (no embedding map): the
-// bit position of every fit tuple is already in the plan, so phase 1
-// classifies each row into a verdict in parallel, an optional serial
-// O(fit) scan resolves the category-draining guard against its running
-// counts (pure array arithmetic — the keyed hashing all happened in the
-// plan build), and phase 2 applies the code writes and tallies the report
-// counters shard-locally.
+// Sharded apply for the k2 position path (no embedding map): the bit
+// position of every fit tuple is already in the plan, so per-tuple
+// decisions are stateless and the pass runs fused — one set-bit scan over
+// the plan's fitness bitset per shard, classifying and applying in the same
+// touch (raw code writes to disjoint row slots via the bulk writer,
+// everything else shard-local and merged in shard order below).
+//
+// The category-draining guard breaks the fusion: whether tuple j's
+// alteration drains a category depends on every earlier alteration's net
+// count effect. With the guard on, the pass splits into the classic three
+// phases — parallel classify into per-row verdicts, a serial O(fit) guard
+// scan (pure array arithmetic — the keyed hashing all happened in the plan
+// build), parallel apply — with every phase iterating fit rows via the
+// bitset.
 void ShardedHashApply(const ApplyInputs& in, std::size_t threads,
                       EmbedReport& report) {
   Relation& rel = *in.rel;
@@ -177,83 +211,107 @@ void ShardedHashApply(const ApplyInputs& in, std::size_t threads,
   const TuplePlan& plan = *in.plan;
   const ValueIndexColumn& target_index = *in.target_index;
   const std::size_t n = rel.NumRows();
+  const std::uint64_t* fit_words = plan.fit_words.data();
 
-  std::vector<std::uint8_t> verdict(n, kUnfit);
-  std::vector<std::uint32_t> tsel(n, 0);
-
-  // Phase 1: classify. Reads the plan, the domain-index view and (const)
-  // ledger; writes only per-row slots.
-  ParallelFor(n, threads,
-              [&](std::size_t, std::size_t begin, std::size_t end) {
-                for (std::size_t j = begin; j < end; ++j) {
-                  if (!plan.fit[j]) continue;
-                  if (in.ledger != nullptr &&
-                      in.ledger->IsMarked(j, in.target_col)) {
-                    verdict[j] = kLedgerSkip;
-                    continue;
-                  }
-                  const std::size_t idx = plan.payload_index[j];
-                  const int bit = in.wm_data->Get(idx);
-                  const std::size_t t =
-                      SelectValueIndex(plan.h1[j], in.domain_size, bit);
-                  tsel[j] = static_cast<std::uint32_t>(t);
-                  const std::int32_t old_t = target_index.index(j);
-                  verdict[j] =
-                      (old_t >= 0 && static_cast<std::size_t>(old_t) == t)
-                          ? kUnchanged
-                          : kAlter;
-                }
-              });
-
-  // Guard resolution: whether tuple j's alteration drains a category
-  // depends on every earlier alteration's net count effect, so this scan
-  // is inherently ordered — but it is pure integer arithmetic over the
-  // verdicts, costing a fraction of what the phases around it parallelize.
-  if (params.min_category_keep > 0) {
-    std::vector<long>& category_count = *in.category_count;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (verdict[j] != kAlter) continue;
-      const std::int32_t old_t = target_index.index(j);
-      if (old_t >= 0 && category_count[old_t] <= params.min_category_keep) {
-        verdict[j] = kGuardSkip;
-        ++report.skipped_by_domain_guard;
-        continue;
-      }
-      if (old_t >= 0) --category_count[old_t];
-      ++category_count[tsel[j]];
-    }
-  }
-
-  // Phase 2: apply. Raw code writes to disjoint row slots via the bulk
-  // writer; everything else is shard-local and merged below.
   BulkCodeWriter writer(rel.mutable_store(), in.target_col, threads);
   std::vector<std::vector<std::uint8_t>> shard_seen(
       threads, std::vector<std::uint8_t>(in.payload_len, 0));
   std::vector<ShardTally> tally(threads);
 
-  ParallelFor(n, threads,
-              [&](std::size_t shard, std::size_t begin, std::size_t end) {
-                ShardTally& t = tally[shard];
-                std::vector<std::uint8_t>& seen = shard_seen[shard];
-                for (std::size_t j = begin; j < end; ++j) {
-                  switch (verdict[j]) {
-                    case kUnchanged:
-                      ++t.unchanged;
-                      break;
-                    case kAlter:
-                      writer.Write(shard, j, (*in.code_of_t)[tsel[j]]);
-                      ++t.altered;
-                      break;
-                    case kLedgerSkip:
+  if (params.min_category_keep == 0) {
+    // Fused classify/apply: fitness bitset AND ledger skip AND value
+    // comparison resolve in one pass, no verdict materialization at all.
+    ParallelFor(n, threads,
+                [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                  ShardTally& t = tally[shard];
+                  std::vector<std::uint8_t>& seen = shard_seen[shard];
+                  ForEachFitRow(fit_words, begin, end, [&](std::size_t j) {
+                    if (in.ledger != nullptr &&
+                        in.ledger->IsMarked(j, in.target_col)) {
                       ++t.ledger_skips;
-                      continue;
-                    default:
-                      continue;
-                  }
-                  seen[plan.payload_index[j]] = 1;
-                  if (in.ledger != nullptr) t.marks.push_back(j);
-                }
-              });
+                      return;
+                    }
+                    const std::size_t idx = plan.payload_index[j];
+                    const int bit = in.wm_data->Get(idx);
+                    const std::size_t tv =
+                        SelectValueIndex(plan.h1[j], in.domain_size, bit);
+                    const std::int32_t old_t = target_index.index(j);
+                    if (old_t >= 0 && static_cast<std::size_t>(old_t) == tv) {
+                      ++t.unchanged;
+                    } else {
+                      writer.Write(shard, j, (*in.code_of_t)[tv]);
+                      ++t.altered;
+                    }
+                    seen[idx] = 1;
+                    if (in.ledger != nullptr) t.marks.push_back(j);
+                  });
+                });
+  } else {
+    std::vector<std::uint8_t> verdict(n, kUnfit);
+    std::vector<std::uint32_t> tsel(n, 0);
+
+    // Phase 1: classify. Reads the plan, the domain-index view and (const)
+    // ledger; writes only per-row slots.
+    ParallelFor(n, threads,
+                [&](std::size_t, std::size_t begin, std::size_t end) {
+                  ForEachFitRow(fit_words, begin, end, [&](std::size_t j) {
+                    if (in.ledger != nullptr &&
+                        in.ledger->IsMarked(j, in.target_col)) {
+                      verdict[j] = kLedgerSkip;
+                      return;
+                    }
+                    const std::size_t idx = plan.payload_index[j];
+                    const int bit = in.wm_data->Get(idx);
+                    const std::size_t t =
+                        SelectValueIndex(plan.h1[j], in.domain_size, bit);
+                    tsel[j] = static_cast<std::uint32_t>(t);
+                    const std::int32_t old_t = target_index.index(j);
+                    verdict[j] =
+                        (old_t >= 0 && static_cast<std::size_t>(old_t) == t)
+                            ? kUnchanged
+                            : kAlter;
+                  });
+                });
+
+    // Guard resolution, inherently ordered (see above).
+    std::vector<long>& category_count = *in.category_count;
+    ForEachFitRow(fit_words, 0, n, [&](std::size_t j) {
+      if (verdict[j] != kAlter) return;
+      const std::int32_t old_t = target_index.index(j);
+      if (old_t >= 0 && category_count[old_t] <= params.min_category_keep) {
+        verdict[j] = kGuardSkip;
+        ++report.skipped_by_domain_guard;
+        return;
+      }
+      if (old_t >= 0) --category_count[old_t];
+      ++category_count[tsel[j]];
+    });
+
+    // Phase 2: apply.
+    ParallelFor(n, threads,
+                [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                  ShardTally& t = tally[shard];
+                  std::vector<std::uint8_t>& seen = shard_seen[shard];
+                  ForEachFitRow(fit_words, begin, end, [&](std::size_t j) {
+                    switch (verdict[j]) {
+                      case kUnchanged:
+                        ++t.unchanged;
+                        break;
+                      case kAlter:
+                        writer.Write(shard, j, (*in.code_of_t)[tsel[j]]);
+                        ++t.altered;
+                        break;
+                      case kLedgerSkip:
+                        ++t.ledger_skips;
+                        return;
+                      default:
+                        return;
+                    }
+                    seen[plan.payload_index[j]] = 1;
+                    if (in.ledger != nullptr) t.marks.push_back(j);
+                  });
+                });
+  }
   writer.Finish();
 
   for (const ShardTally& t : tally) {
@@ -282,6 +340,8 @@ void ShardedMapApply(const ApplyInputs& in, std::size_t threads,
   const ValueIndexColumn& target_index = *in.target_index;
   const std::size_t n = rel.NumRows();
 
+  const std::uint64_t* fit_words = plan.fit_words.data();
+
   // Per-shard commit counts. With no ledger these are the plan's per-shard
   // fit counts (same (n, threads) partition); with a ledger, one cheap
   // counting pass filters out already-marked cells.
@@ -294,16 +354,30 @@ void ShardedMapApply(const ApplyInputs& in, std::size_t threads,
     ParallelFor(n, threads,
                 [&](std::size_t shard, std::size_t begin, std::size_t end) {
                   std::size_t commits = 0;
-                  for (std::size_t j = begin; j < end; ++j) {
-                    if (plan.fit[j] &&
-                        !in.ledger->IsMarked(j, in.target_col)) {
-                      ++commits;
-                    }
-                  }
+                  ForEachFitRow(fit_words, begin, end, [&](std::size_t j) {
+                    if (!in.ledger->IsMarked(j, in.target_col)) ++commits;
+                  });
                   base[shard] = commits;
                 });
   }
+  const std::vector<std::size_t> shard_commits = base;
   ExclusivePrefixSum(base);  // base[s] = first global map index of shard s
+
+  // The map key is the serialized key value, which on a dict-encoded key
+  // column is the same bytes for every row sharing a dict code — serialize
+  // each live dictionary entry once up front and splice by code, instead of
+  // re-serializing (and re-allocating) per committing tuple.
+  const ColumnReader key_probe(rel.store(), in.key_col);
+  std::vector<std::string> key_of_code;
+  if (key_probe.is_dict()) {
+    const std::vector<Value>& dict = key_probe.dict();
+    key_of_code.resize(dict.size());
+    std::vector<std::uint8_t> scratch;
+    scratch.reserve(64);
+    for (std::size_t c = 0; c < dict.size(); ++c) {
+      key_of_code[c] = std::string(dict[c].SerializeKeyInto(scratch));
+    }
+  }
 
   BulkCodeWriter writer(rel.mutable_store(), in.target_col, threads);
   std::vector<std::vector<std::uint8_t>> shard_seen(
@@ -313,16 +387,18 @@ void ShardedMapApply(const ApplyInputs& in, std::size_t threads,
   ParallelFor(
       n, threads, [&](std::size_t shard, std::size_t begin, std::size_t end) {
         ShardTally& t = tally[shard];
+        t.segment.reserve(shard_commits[shard]);
         std::vector<std::uint8_t>& seen = shard_seen[shard];
         const ColumnReader key_reader(rel.store(), in.key_col);
+        const std::int32_t* key_codes =
+            key_reader.is_dict() ? key_reader.codes().data() : nullptr;
         std::vector<std::uint8_t> scratch;
         scratch.reserve(64);
         std::size_t map_index = base[shard];
-        for (std::size_t j = begin; j < end; ++j) {
-          if (!plan.fit[j]) continue;
+        ForEachFitRow(fit_words, begin, end, [&](std::size_t j) {
           if (in.ledger != nullptr && in.ledger->IsMarked(j, in.target_col)) {
             ++t.ledger_skips;
-            continue;
+            return;
           }
           // Global map indices wrap around the payload exactly like the
           // serial pass's next_map_index % payload_len — including across
@@ -339,11 +415,16 @@ void ShardedMapApply(const ApplyInputs& in, std::size_t threads,
             ++t.altered;
           }
           seen[idx] = 1;
-          t.segment.emplace_back(
-              std::string(key_reader[j].SerializeKeyInto(scratch)), idx);
+          if (key_codes != nullptr) {
+            // Fit rows have non-NULL keys, so the dict code is valid.
+            t.segment.emplace_back(key_of_code[key_codes[j]], idx);
+          } else {
+            t.segment.emplace_back(
+                std::string(key_reader[j].SerializeKeyInto(scratch)), idx);
+          }
           if (in.ledger != nullptr) t.marks.push_back(j);
           ++map_index;
-        }
+        });
       });
   writer.Finish();
 
@@ -366,6 +447,7 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
                                     const BitVector& wm,
                                     QualityAssessor* assessor,
                                     EmbeddingLedger* ledger) const {
+  const auto wall_start = std::chrono::steady_clock::now();
   if (wm.empty()) {
     return Status::InvalidArgument("watermark must be non-empty");
   }
@@ -438,6 +520,8 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
   report.prf = plan_options.prf;
   const TuplePlan plan =
       BuildTuplePlan(rel, key_col, keys_, params_, plan_options);
+  report.rows_scanned = plan.size();
+  report.messages_hashed = plan.messages_hashed;
 
   // Dictionary-encoded targets apply alterations as raw code writes: intern
   // every domain value up front — before the index view is built, so its
@@ -493,9 +577,11 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
   // a quality assessor interleaves relation mutation with its verdicts, and
   // the map + draining-guard combination makes each tuple's bit position
   // depend on every earlier guard outcome. Those run the reference serial
-  // pass (apply_shards stays 1).
+  // pass (apply_shards stays 1). At threads == 1 the sharded passes run
+  // inline on the calling thread — the fused bitset pipeline is the
+  // single-thread fast path too, not just the parallel one.
   const bool serial_only =
-      threads == 1 || assessor != nullptr || !write_codes ||
+      options.force_serial_apply || assessor != nullptr || !write_codes ||
       (options.build_embedding_map && params_.min_category_keep > 0);
   if (serial_only) {
     CATMARK_RETURN_IF_ERROR(SerialApply(inputs, report));
@@ -508,6 +594,10 @@ Result<EmbedReport> Embedder::Embed(Relation& rel,
   report.alteration_fraction =
       static_cast<double>(report.altered_tuples) /
       static_cast<double>(report.num_tuples);
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return report;
 }
 

@@ -32,6 +32,12 @@ struct EmbedOptions {
   /// Build the Figure 1(b) embedding map instead of the k2 hash for bit
   /// positions.
   bool build_embedding_map = false;
+
+  /// Test-only escape hatch: force the reference serial apply pass even
+  /// where the sharded pipeline would engage, so the parity suite can pin
+  /// the fused bitset pipeline byte-identical to the serial semantics (the
+  /// sharded pipeline otherwise runs even at num_threads == 1).
+  bool force_serial_apply = false;
 };
 
 /// Everything the embedding pass did — including the parameters the
@@ -48,12 +54,22 @@ struct EmbedReport {
   std::size_t positions_written = 0;  ///< distinct wm_data positions hit
   double alteration_fraction = 0.0;   ///< altered_tuples / N
 
-  /// Shards the apply pass ran with: > 1 means the two-phase sharded
-  /// pipeline executed; 1 means the serial fallback engaged (num_threads
-  /// == 1, a QualityAssessor present, map mode with the category-draining
-  /// guard active, or a target that cannot take raw code writes). Purely
-  /// diagnostic — every other report field, the relation, the map and the
-  /// ledger are bit-identical either way.
+  /// Work accounting, mirroring DetectionResult: rows the plan build
+  /// scanned (== N), messages it pushed through the k1 PRF (live distinct
+  /// dictionary entries on the cached path, non-NULL key rows otherwise),
+  /// and end-to-end wall time of the Embed call.
+  std::size_t rows_scanned = 0;
+  std::size_t messages_hashed = 0;
+  double wall_seconds = 0.0;
+
+  /// Shards the apply pass ran with. The sharded pipeline also runs at
+  /// num_threads == 1 (fused over the plan's fitness bitset, inline on the
+  /// calling thread); 1 here therefore means one shard, not necessarily the
+  /// reference serial pass — that fallback engages for a QualityAssessor,
+  /// map mode with the category-draining guard active, or a target that
+  /// cannot take raw code writes. Purely diagnostic — every other report
+  /// field, the relation, the map and the ledger are bit-identical either
+  /// way.
   std::size_t apply_shards = 1;
 
   /// Keyed-PRF backend the embedding actually ran with (WatermarkParams::
@@ -72,25 +88,24 @@ class Embedder {
 
   /// Embeds `wm` into `rel` in place.
   ///
-  /// Fully pipelined: fitness hashes, payload indices and the domain-index
-  /// view of the target column are precomputed in parallel (WatermarkParams
-  /// ::num_threads workers), and the apply pass itself runs as a two-phase
-  /// sharded pipeline — phase 1 classifies every tuple into a commit/skip
-  /// verdict in parallel, an exact prefix-sum over per-shard commit counts
-  /// assigns each committing tuple the global map index the serial pass
-  /// would have given it, and phase 2 applies alterations as raw code
-  /// writes and splices per-shard embedding-map segments in shard order.
-  /// The resulting relation, report, map and ledger are bit-identical to a
-  /// serial pass at any thread count. Inherently stateful interactions fall
-  /// back to the serial apply pass (EmbedReport::apply_shards == 1): a
+  /// Fully pipelined: the plan build batches fitness hashes through the
+  /// SIMD PRF kernels and packs verdicts into a bitset (see TuplePlan), and
+  /// the apply pass set-bit-scans that bitset — on the k2 path classify and
+  /// apply fuse into a single touch per fit tuple; on the map path an exact
+  /// prefix-sum over per-shard commit counts assigns each committing tuple
+  /// the global map index the serial pass would have given it, and
+  /// per-shard embedding-map segments splice in shard order. The sharded
+  /// pipeline runs even at num_threads == 1 (inline on the calling thread).
+  /// The resulting relation, report, map and ledger are bit-identical to
+  /// the reference serial pass at any thread count and SIMD level.
+  /// Inherently stateful interactions fall back to that serial pass: a
   /// QualityAssessor (its veto/rollback protocol mutates the relation
   /// mid-decision), map mode combined with the category-draining guard
   /// (there the bit position of tuple j depends on every earlier verdict,
-  /// which depends on the guard's running counts), num_threads == 1, and
-  /// targets that cannot take raw dictionary-code writes. An embedding-map
-  /// entry is recorded only for committed tuples (altered or unchanged-hit)
-  /// — never for tuples skipped by the ledger, the domain guard or a
-  /// quality veto.
+  /// which depends on the guard's running counts), and targets that cannot
+  /// take raw dictionary-code writes. An embedding-map entry is recorded
+  /// only for committed tuples (altered or unchanged-hit) — never for
+  /// tuples skipped by the ledger, the domain guard or a quality veto.
   ///
   /// Fails with FailedPrecondition when N / e == 0 (e exceeds the relation
   /// size): fewer than one tuple is expected to be fit, so "success" would

@@ -18,6 +18,11 @@ Result<std::size_t> WatermarkService::Open(SessionSpec spec,
                                            Relation relation) {
   CATMARK_ASSIGN_OR_RETURN(StreamSession session,
                            StreamSession::Create(std::move(spec)));
+  // A relation passed by value usually arrives copied, with column capacity
+  // == size: the very first insert batch would then pay an O(N) relocation
+  // of every column (plus the page faults of the fresh allocations) inside
+  // the timed insert path. Reserve append headroom now, at open time.
+  relation.Reserve(relation.NumRows() + relation.NumRows() / 4 + 1024);
   const std::size_t id = entries_.size();
   entries_.push_back(std::make_unique<Entry>(
       Entry{std::move(session), std::move(relation)}));

@@ -1,10 +1,13 @@
 #include "service/session.h"
 
 #include <array>
+#include <bit>
 #include <utility>
 
+#include "common/bits.h"
 #include "common/check.h"
 #include "core/codec.h"
+#include "crypto/siphash_simd.h"
 #include "ecc/code.h"
 
 namespace catmark {
@@ -114,19 +117,56 @@ Status StreamSession::BindColumns(const Relation& rel) {
 void StreamSession::FinishChunk(std::vector<Verdict*>& pending) {
   if (pending.empty()) return;
   batch_.Hash(*prf_k1_);
-  for (std::size_t i = 0; i < batch_.size(); ++i) {
+  const std::size_t count = batch_.size();
+
+  // Vectorized fitness: pack h1 % e == 0 into a bitset and walk only the
+  // set bits — the same DivisibilityMask64 kernel the plan build and the
+  // detect engine use, so streaming verdicts are pinned to the same
+  // arithmetic.
+  const DivisibilityCheck fit_by_e(spec_.params.e);
+  fit_mask_.assign((count + 63) / 64, 0);
+  DivisibilityMask64(fit_by_e, batch_.h1.data(), count, fit_mask_.data());
+  fit_idx_.clear();
+  for (std::size_t w = 0; w < fit_mask_.size(); ++w) {
+    std::uint64_t word = fit_mask_[w];
+    while (word != 0) {
+      const std::size_t i =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      fit_idx_.push_back(i);
+    }
+  }
+
+  // The fitness rate is 1/e, so the k2 position hash runs on a small
+  // minority of keys — one batched call over the fit subset, through the
+  // typed int64 kernel when the whole chunk is int64 keys (the common
+  // streaming shape), else gathered views over the still-live arena bytes.
+  h2_.resize(fit_idx_.size());
+  if (!fit_idx_.empty()) {
+    if (batch_.int64_lane()) {
+      fit_i64_.clear();
+      for (const std::size_t i : fit_idx_) fit_i64_.push_back(batch_.i64[i]);
+      prf_k2_->Hash64Int64Keys(fit_i64_.data(), fit_i64_.size(),
+                               std::span<std::uint64_t>(h2_));
+    } else {
+      fit_views_.clear();
+      for (const std::size_t i : fit_idx_) {
+        fit_views_.push_back(batch_.views[i]);
+      }
+      prf_k2_->Hash64Column(fit_views_, std::span<std::uint64_t>(h2_));
+    }
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
     Verdict& v = *pending[batch_.ids[i]];
-    const std::uint64_t h1 = batch_.h1[i];
-    v.h1 = h1;
+    v.h1 = batch_.h1[i];
     v.pending = false;
-    if (h1 % spec_.params.e != 0) continue;  // fit stays false
+  }
+  for (std::size_t f = 0; f < fit_idx_.size(); ++f) {
+    Verdict& v = *pending[batch_.ids[fit_idx_[f]]];
     v.fit = true;
-    // The fitness rate is 1/e, so the k2 position hash runs on a small
-    // minority of keys — single-shot over the still-live arena bytes.
-    v.payload_index = static_cast<std::uint32_t>(
-        PayloadIndexFromHash(prf_k2_->Hash64(batch_.views[i]),
-                             spec_.payload_length,
-                             spec_.params.bit_index_mode));
+    v.payload_index = static_cast<std::uint32_t>(PayloadIndexFromHash(
+        h2_[f], spec_.payload_length, spec_.params.bit_index_mode));
   }
   pending.clear();
   batch_.Clear();

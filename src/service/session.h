@@ -5,6 +5,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -92,8 +93,10 @@ struct BatchReport {
 /// paid per insert:
 ///
 ///   - keys serialize chunk-wise into one arena and hash through a single
-///     batched KeyedPrf::Hash64Column call per chunk (kKeyHashBatch rows),
-///     the same KeyHashBatch channel the tuple_plan precompute uses;
+///     batched KeyedPrf call per chunk (kKeyHashBatch rows) — the typed
+///     Hash64Int64Keys SIMD kernel when the whole chunk is int64 keys, the
+///     Hash64Column view path otherwise — the same KeyHashBatch channel the
+///     tuple_plan precompute uses;
 ///   - fitness/position verdicts for repeated keys come from a resident
 ///     key->verdict cache that survives across batches (a streaming feed
 ///     re-inserts the same customers all day);
@@ -180,8 +183,9 @@ class StreamSession {
   /// hashed.
   std::size_t ResolveVerdicts(std::span<const Row> rows);
 
-  /// Finishes a chunk of misses: one batched k1 call, then k2 single-shot
-  /// for the ~1/e fit entries.
+  /// Finishes a chunk of misses: one batched k1 call (typed int64 kernel
+  /// for all-int64 chunks), vectorized DivisibilityMask64 fitness, then one
+  /// batched k2 call over the ~1/e fit entries.
   void FinishChunk(std::vector<Verdict*>& pending);
 
   /// Cache-or-compute for one key (the Refresh path): serialized key bytes
@@ -210,6 +214,13 @@ class StreamSession {
   // Per-batch scratch, reused across batches.
   KeyHashBatch batch_;
   std::vector<Verdict*> pending_;
+  // Per-chunk scratch of FinishChunk: the packed fitness mask, the fit
+  // subset's indices, its gathered keys (typed or views) and k2 outputs.
+  std::vector<std::uint64_t> fit_mask_;
+  std::vector<std::size_t> fit_idx_;
+  std::vector<std::int64_t> fit_i64_;
+  std::vector<std::string_view> fit_views_;
+  std::vector<std::uint64_t> h2_;
   // Rows whose key was still pending when scanned; their verdicts are
   // copied into verdict_of_row_ once the owning chunk has been hashed.
   std::vector<std::pair<std::size_t, const Verdict*>> pending_rows_;

@@ -21,6 +21,7 @@
 #include "common/parallel.h"
 #include "core/detector.h"
 #include "core/embedder.h"
+#include "crypto/siphash_simd.h"
 #include "exp/harness.h"
 #include "gen/sales_gen.h"
 #include "quality/assessor.h"
@@ -183,6 +184,8 @@ EmbedOptions KA(bool map = false) {
 
 void ExpectReportsEqual(const EmbedReport& a, const EmbedReport& b) {
   EXPECT_EQ(a.num_tuples, b.num_tuples);
+  EXPECT_EQ(a.rows_scanned, b.rows_scanned);
+  EXPECT_EQ(a.messages_hashed, b.messages_hashed);
   EXPECT_EQ(a.fit_tuples, b.fit_tuples);
   EXPECT_EQ(a.altered_tuples, b.altered_tuples);
   EXPECT_EQ(a.unchanged_tuples, b.unchanged_tuples);
@@ -325,6 +328,120 @@ TEST(ParallelParityTest, NullKeysParityAcrossThreadCounts) {
         Embedder(keys, params).Embed(rel, KA(), wm).value();
     ExpectReportsEqual(serial, report);
   }
+}
+
+// ------------------------------------ embed fast-path SIMD x thread grid
+
+// A (K STRING, A STRING) relation: string keys take the serialized-arena
+// hash path instead of the typed Hash64Int64Keys kernel.
+Relation StringKeyRelation(std::size_t n, std::uint64_t seed) {
+  Schema schema = Schema::Create({{"K", ColumnType::kString, false},
+                                  {"A", ColumnType::kString, true}},
+                                 "K")
+                      .value();
+  Relation rel(schema);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Variable-length keys so arena bounds are irregular across chunks.
+    Value k("user-" + std::to_string(rng() % 900000));
+    Value a("V" + std::to_string(rng() % 97));
+    rel.AppendRowUnchecked({std::move(k), std::move(a)});
+  }
+  return rel;
+}
+
+// The fused embed pipeline (typed int64 key gather, arena fallback,
+// DivisibilityMask64 fitness verdicts, bitset classify/apply) swept over
+// SIMD dispatch level x thread count x key-column shape, in both k2-position
+// and embedding-map modes with a pre-marked ledger. Every cell must be
+// byte-identical — CSV snapshot, report counters, serialized embedding map,
+// ledger — to the serial scalar reference pass (force_serial_apply +
+// ForceSimdLevel(kScalar) + one thread). CI runs this under
+// CATMARK_SIMD={avx2,sse2,off} and TSan/ASan as well; the in-process
+// ForceSimdLevel sweep here covers levels the env clamp would hide.
+TEST(EmbedFastPathGridTest, BitIdenticalAcrossSimdLevelsAndThreads) {
+  struct Flavor {
+    const char* name;
+    Relation rel;
+  };
+  std::vector<Flavor> flavors;
+  // int64 keys: the typed Hash64Int64Keys chunk path.
+  flavors.push_back({"int64-key", StandardRelation(2600, 91)});
+  // string keys: the serialized-arena Hash64Arena path.
+  flavors.push_back({"string-key", StringKeyRelation(2600, 92)});
+  // NULL-heavy int64 keys: dense-chunk gather with lazy NULL backfill.
+  Relation null_heavy = StandardRelation(2600, 93);
+  for (std::size_t j = 0; j < null_heavy.NumRows(); j += 4) {
+    ASSERT_TRUE(null_heavy.Set(j, 0, Value()).ok());
+  }
+  flavors.push_back({"null-heavy", std::move(null_heavy)});
+
+  constexpr SimdLevel kLevels[] = {SimdLevel::kAvx2, SimdLevel::kSse2,
+                                   SimdLevel::kScalar};
+  constexpr std::size_t kLedgerStride = 5;
+  constexpr std::size_t kTargetCol = 1;
+  const BitVector wm = MakeWatermark(8, 91);
+  const WatermarkKeySet keys = WatermarkKeySet::FromSeed(91);
+
+  for (const Flavor& flavor : flavors) {
+    const auto premark = [&](EmbeddingLedger& ledger) {
+      for (std::size_t j = 0; j < flavor.rel.NumRows(); j += kLedgerStride) {
+        ledger.Mark(j, kTargetCol);
+      }
+    };
+    for (const bool map_mode : {false, true}) {
+      SCOPED_TRACE(std::string(flavor.name) +
+                   " map=" + std::to_string(map_mode));
+      WatermarkParams params;
+      params.e = 7;
+      // The backend with SIMD kernels — levels must be indistinguishable.
+      params.prf = PrfKind::kSipHash24;
+      params.min_category_keep = 0;
+
+      // Reference: the pre-fusion serial apply pass, scalar dispatch.
+      ForceSimdLevel(SimdLevel::kScalar);
+      params.num_threads = 1;
+      EmbedOptions ref_options = KA(map_mode);
+      ref_options.force_serial_apply = true;
+      Relation ref_rel = flavor.rel;
+      EmbeddingLedger ref_ledger;
+      premark(ref_ledger);
+      const EmbedReport ref = Embedder(keys, params)
+                                  .Embed(ref_rel, ref_options, wm, nullptr,
+                                         &ref_ledger)
+                                  .value();
+      EXPECT_EQ(ref.apply_shards, 1u);
+      const std::string ref_csv = WriteCsvString(ref_rel);
+
+      for (const SimdLevel level : kLevels) {
+        for (const std::size_t threads : {1u, 2u, 8u}) {
+          SCOPED_TRACE("simd=" + std::string(SimdLevelName(level)) +
+                       " threads=" + std::to_string(threads));
+          // Clamped to what the hardware supports; on an SSE2-only box the
+          // kAvx2 cells re-run SSE2, which is still a valid parity cell.
+          ForceSimdLevel(level);
+          params.num_threads = threads;
+          Relation rel = flavor.rel;
+          EmbeddingLedger ledger;
+          premark(ledger);
+          const EmbedReport report = Embedder(keys, params)
+                                         .Embed(rel, KA(map_mode), wm,
+                                                nullptr, &ledger)
+                                         .value();
+          ExpectReportsEqual(ref, report);
+          EXPECT_EQ(WriteCsvString(rel), ref_csv);
+          EXPECT_EQ(ledger.size(), ref_ledger.size());
+          for (std::size_t j = 0; j < flavor.rel.NumRows(); ++j) {
+            ASSERT_EQ(ledger.IsMarked(j, kTargetCol),
+                      ref_ledger.IsMarked(j, kTargetCol))
+                << "row " << j;
+          }
+        }
+      }
+      ForceSimdLevel(std::nullopt);
+    }
+  }
+  ForceSimdLevel(std::nullopt);
 }
 
 // -------------------------------------------- randomized property suite

@@ -261,6 +261,17 @@ int RunEmbed(const Flags& flags) {
       100.0 * report->alteration_fraction, report->skipped_by_quality,
       report->payload_length, static_cast<unsigned long long>(params.e),
       wm.value().size(), std::string(PrfKindName(report->prf)).c_str());
+  // Same accounting line detect prints: rows scanned vs PRF messages
+  // actually hashed, and the embed wall time (excludes load and save).
+  const double embed_ms = report->wall_seconds * 1e3;
+  const double embed_tps =
+      report->wall_seconds > 0.0
+          ? static_cast<double>(report->rows_scanned) / report->wall_seconds
+          : 0.0;
+  std::printf(
+      "scanned %zu rows (%zu messages hashed) in %.2f ms (%.2fM rows/s)\n",
+      report->rows_scanned, report->messages_hashed, embed_ms,
+      embed_tps / 1e6);
 
   // --certificate-out writes everything detection needs (plus the key
   // commitment) to one file; `detect --certificate` consumes it.
